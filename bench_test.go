@@ -1,0 +1,246 @@
+package astrasim
+
+// One benchmark per reproduced table/figure of the paper (see DESIGN.md's
+// experiment index), plus ablation benches for the design choices the
+// implementation makes. Each benchmark runs the same driver that
+// regenerates the artifact via cmd/paper, so `go test -bench` doubles as a
+// performance regression harness for the simulator itself.
+
+import (
+	"testing"
+
+	"repro/internal/collective"
+	"repro/internal/experiments"
+	"repro/internal/garnet"
+	"repro/internal/network"
+	"repro/internal/timeline"
+	"repro/internal/topology"
+	"repro/internal/units"
+)
+
+// BenchmarkFig4Validation regenerates the analytical-backend validation
+// sweep (E1): 12 All-Reduce configurations against the reference system.
+func BenchmarkFig4Validation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Fig4()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.MeanAbsErrorPct > 8 {
+			b.Fatalf("mean error drifted to %.2f%%", res.MeanAbsErrorPct)
+		}
+	}
+}
+
+// BenchmarkSpeedupAnalytical measures the analytical backend on the
+// speedup study's small torus (E2) — the "fast" side of the comparison.
+func BenchmarkSpeedupAnalytical(b *testing.B) {
+	top := topology.MustNew(
+		topology.Dim{Kind: topology.Ring, Size: 4, Bandwidth: units.GBps(32), Latency: units.Nanosecond},
+		topology.Dim{Kind: topology.Ring, Size: 4, Bandwidth: units.GBps(32), Latency: units.Nanosecond},
+		topology.Dim{Kind: topology.Ring, Size: 4, Bandwidth: units.GBps(32), Latency: units.Nanosecond},
+	)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		eng := timeline.New()
+		net := network.NewBackend(eng, top)
+		ce := collective.NewEngine(net, collective.WithChunks(1))
+		if err := ce.Start(collective.AllReduce, units.MB, collective.FullMachine(top), nil); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := eng.Run(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSpeedupGarnet measures the cycle-level backend on the same
+// configuration (E2) — the "slow" side. The ratio of these two benchmarks
+// is the reproduced headline of Section IV-C.
+func BenchmarkSpeedupGarnet(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		g, err := garnet.New(garnet.Config{Shape: []int{4, 4, 4}, FlitBytes: 16, LinkLatency: 1, ClockGHz: 1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, _, err := g.AllReduce(units.MB); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTableIV regenerates the seven-row wafer-scaling table (E3).
+func BenchmarkTableIV(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.TableIV()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res.Rows) != 7 {
+			b.Fatal("row count drifted")
+		}
+	}
+}
+
+// BenchmarkFig9a regenerates the 512-NPU case-study grid (E4) with
+// reduced layer counts.
+func BenchmarkFig9a(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Fig9a(experiments.Options{Reduced: true}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig9b regenerates the scaling grid (E5) with reduced layers.
+func BenchmarkFig9b(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Fig9b(experiments.Options{Reduced: true}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig11 regenerates the disaggregated-memory comparison (E6)
+// with the sweep's corner points.
+func BenchmarkFig11(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Fig11(false); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkHierMemSweep regenerates the full 8x5 design-space sweep (E7).
+func BenchmarkHierMemSweep(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Fig11(true)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res.Sweep) != 40 {
+			b.Fatalf("sweep has %d points, want 40", len(res.Sweep))
+		}
+	}
+}
+
+// --- Ablations for DESIGN.md's modeling choices ---
+
+// BenchmarkAblationChunks quantifies chunk-pipelining depth: collective
+// runtime and simulation cost as the chunk count grows (1 disables
+// pipelining; the paper's bottleneck behaviour emerges from ~16 on).
+func BenchmarkAblationChunks(b *testing.B) {
+	top := topology.MustNew(
+		topology.Dim{Kind: topology.Ring, Size: 2, Bandwidth: units.GBps(1000)},
+		topology.Dim{Kind: topology.FullyConnected, Size: 8, Bandwidth: units.GBps(200)},
+		topology.Dim{Kind: topology.Ring, Size: 8, Bandwidth: units.GBps(100)},
+		topology.Dim{Kind: topology.Switch, Size: 4, Bandwidth: units.GBps(50)},
+	)
+	for _, chunks := range []int{1, 16, 64, 256} {
+		b.Run(benchName("chunks", chunks), func(b *testing.B) {
+			var last units.Time
+			for i := 0; i < b.N; i++ {
+				eng := timeline.New()
+				net := network.NewBackend(eng, top)
+				ce := collective.NewEngine(net, collective.WithChunks(chunks))
+				var res collective.Result
+				if err := ce.Start(collective.AllGather, 1024*units.MB, collective.FullMachine(top), func(r collective.Result) { res = r }); err != nil {
+					b.Fatal(err)
+				}
+				if _, err := eng.Run(); err != nil {
+					b.Fatal(err)
+				}
+				last = res.Duration()
+			}
+			b.ReportMetric(last.Micros(), "sim_us")
+		})
+	}
+}
+
+// BenchmarkAblationScheduler compares the two chunk schedulers on the
+// paper's Conv-3D system, reporting the simulated collective time so the
+// Themis gain is visible next to the scheduling overhead.
+func BenchmarkAblationScheduler(b *testing.B) {
+	top := topology.MustNew(
+		topology.Dim{Kind: topology.Ring, Size: 16, Bandwidth: units.GBps(200)},
+		topology.Dim{Kind: topology.FullyConnected, Size: 8, Bandwidth: units.GBps(100)},
+		topology.Dim{Kind: topology.Switch, Size: 4, Bandwidth: units.GBps(50)},
+	)
+	for _, policy := range []collective.Policy{collective.Baseline, collective.Themis} {
+		b.Run(policy.String(), func(b *testing.B) {
+			var last units.Time
+			for i := 0; i < b.N; i++ {
+				eng := timeline.New()
+				net := network.NewBackend(eng, top)
+				ce := collective.NewEngine(net, collective.WithChunks(64), collective.WithPolicy(policy))
+				var res collective.Result
+				if err := ce.Start(collective.AllReduce, 1024*units.MB, collective.FullMachine(top), func(r collective.Result) { res = r }); err != nil {
+					b.Fatal(err)
+				}
+				if _, err := eng.Run(); err != nil {
+					b.Fatal(err)
+				}
+				last = res.Duration()
+			}
+			b.ReportMetric(last.Micros(), "sim_us")
+		})
+	}
+}
+
+// BenchmarkEngineEventThroughput measures raw discrete-event throughput,
+// the simulator's fundamental cost driver.
+func BenchmarkEngineEventThroughput(b *testing.B) {
+	eng := timeline.New()
+	b.ReportAllocs()
+	var tick func()
+	count := 0
+	tick = func() {
+		count++
+		if count < b.N {
+			eng.Schedule(units.Nanosecond, tick)
+		}
+	}
+	eng.Schedule(0, tick)
+	if _, err := eng.Run(); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkEndToEndGPT3 measures a full GPT-3 iteration simulation on the
+// Conv-4D system — the representative heavy workload-layer run.
+func BenchmarkEndToEndGPT3(b *testing.B) {
+	m, err := NewMachine(MachineConfig{
+		Topology:       "R(2)_FC(8)_R(8)_SW(4)",
+		BandwidthsGBps: []float64{250, 200, 100, 50},
+		Chunks:         16,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	// A reduced-depth GPT-3 keeps per-iteration benches tractable.
+	w := Transformer(175e9/8, 12, 12288, 2048, 1, 2, 16)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := m.Run(w); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func benchName(prefix string, v int) string {
+	return prefix + "=" + itoa(v)
+}
+
+func itoa(v int) string {
+	if v == 0 {
+		return "0"
+	}
+	var buf [8]byte
+	i := len(buf)
+	for v > 0 {
+		i--
+		buf[i] = byte('0' + v%10)
+		v /= 10
+	}
+	return string(buf[i:])
+}

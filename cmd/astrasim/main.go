@@ -1,0 +1,181 @@
+// Command astrasim runs one simulation: a machine described by a JSON
+// config (or quick flags) executing a built-in workload or an execution
+// trace file, printing the runtime report.
+//
+// Examples:
+//
+//	astrasim -topology "R(2)_FC(8)_R(8)_SW(4)" -bw 250,200,100,50 \
+//	         -workload all_reduce -size 1073741824 -scheduler themis
+//
+//	astrasim -config machine.json -workload gpt3
+//
+//	astrasim -topology "R(4)" -bw 300 -trace trace.json
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro"
+)
+
+func main() {
+	var (
+		configPath = flag.String("config", "", "machine config JSON file (astrasim.MachineConfig)")
+		topo       = flag.String("topology", "", "topology shape, e.g. R(2)_FC(8)_R(8)_SW(4)")
+		bw         = flag.String("bw", "", "per-dimension bandwidths in GB/s, comma separated")
+		scheduler  = flag.String("scheduler", "", "collective scheduler: baseline or themis (default: config file or baseline)")
+		tflops     = flag.Float64("tflops", 0, "NPU peak TFLOPS (default: config file or 234)")
+		workload   = flag.String("workload", "all_reduce", "workload: all_reduce|all_gather|reduce_scatter|all_to_all|gpt3|t1t|dlrm|moe|pipeline")
+		size       = flag.Int64("size", 1<<30, "collective size in bytes (collective workloads)")
+		tracePath  = flag.String("trace", "", "run an ASTRA-sim ET JSON file instead of a built-in workload")
+		pytorch    = flag.Bool("pytorch", false, "treat -trace as a PARAM-style PyTorch execution graph")
+		jsonOut    = flag.Bool("json", false, "print the report as JSON")
+		timeline   = flag.String("timeline", "", "write a Chrome-trace timeline (chrome://tracing) to this file")
+	)
+	flag.Parse()
+
+	cfg, err := machineConfig(*configPath, *topo, *bw, *scheduler, *tflops)
+	if err != nil {
+		fatal(err)
+	}
+	m, err := astrasim.NewMachine(cfg)
+	if err != nil {
+		fatal(err)
+	}
+
+	w, err := pickWorkload(*workload, *size, *tracePath, *pytorch)
+	if err != nil {
+		fatal(err)
+	}
+	var rep *astrasim.Report
+	if *timeline != "" {
+		f, err := os.Create(*timeline)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		rep, err = m.RunWithTimeline(w, f)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "timeline written to %s\n", *timeline)
+	} else {
+		rep, err = m.Run(w)
+		if err != nil {
+			fatal(err)
+		}
+	}
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(rep); err != nil {
+			fatal(err)
+		}
+		return
+	}
+	printReport(m, rep)
+}
+
+func machineConfig(path, topo, bw, scheduler string, tflops float64) (astrasim.MachineConfig, error) {
+	var cfg astrasim.MachineConfig
+	if path != "" {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return cfg, err
+		}
+		if err := json.Unmarshal(data, &cfg); err != nil {
+			return cfg, fmt.Errorf("parse %s: %w", path, err)
+		}
+	}
+	if topo != "" {
+		cfg.Topology = topo
+	}
+	if bw != "" {
+		parts := strings.Split(bw, ",")
+		cfg.BandwidthsGBps = nil
+		for _, p := range parts {
+			v, err := strconv.ParseFloat(strings.TrimSpace(p), 64)
+			if err != nil {
+				return cfg, fmt.Errorf("bad bandwidth %q: %w", p, err)
+			}
+			cfg.BandwidthsGBps = append(cfg.BandwidthsGBps, v)
+		}
+	}
+	// Flags override the config file only when explicitly set; zero
+	// values fall back to the file's settings (and then to the library
+	// defaults).
+	if scheduler != "" {
+		cfg.Scheduler = scheduler
+	}
+	if tflops != 0 {
+		cfg.PeakTFLOPS = tflops
+	}
+	if cfg.Topology == "" {
+		return cfg, fmt.Errorf("no topology: pass -topology or -config")
+	}
+	return cfg, nil
+}
+
+func pickWorkload(name string, size int64, tracePath string, pytorch bool) (astrasim.Workload, error) {
+	if tracePath != "" {
+		f, err := os.Open(tracePath)
+		if err != nil {
+			return nil, err
+		}
+		// The file stays open until the workload generates its trace
+		// inside Run; for a CLI one-shot this is fine.
+		if pytorch {
+			return astrasim.PyTorchTraceJSON(f), nil
+		}
+		return astrasim.TraceJSON(f), nil
+	}
+	switch name {
+	case "all_reduce", "all_gather", "reduce_scatter", "all_to_all":
+		return astrasim.Collective(name, size), nil
+	case "gpt3":
+		return astrasim.GPT3(), nil
+	case "t1t":
+		return astrasim.Transformer1T(), nil
+	case "dlrm":
+		return astrasim.DLRM(), nil
+	case "moe":
+		return astrasim.MoE1T(false), nil
+	case "pipeline":
+		return astrasim.Pipeline(4, 8, 1e12, 16<<20, 64<<20), nil
+	default:
+		return nil, fmt.Errorf("unknown workload %q", name)
+	}
+}
+
+func printReport(m *astrasim.Machine, rep *astrasim.Report) {
+	fmt.Printf("machine:   %s (%d NPUs, %.0f GB/s per NPU)\n",
+		m.TopologySpec(), m.NumNPUs(), m.AggregateBandwidthGBps())
+	fmt.Printf("workload:  %s\n", rep.Workload)
+	fmt.Printf("makespan:  %v\n", rep.Makespan)
+	fmt.Printf("breakdown (mean per NPU):\n")
+	fmt.Printf("  compute:            %v\n", rep.Compute)
+	fmt.Printf("  exposed comm:       %v\n", rep.ExposedComm)
+	fmt.Printf("  exposed remote mem: %v\n", rep.ExposedRemoteMem)
+	fmt.Printf("  exposed local mem:  %v\n", rep.ExposedLocalMem)
+	fmt.Printf("  idle:               %v\n", rep.Idle)
+	fmt.Printf("traffic per dim (MB, sent+received per NPU): %v\n", fmtFloats(rep.TrafficPerDimMB))
+	fmt.Printf("collectives: %d, events: %d\n", rep.Collectives, rep.Events)
+}
+
+func fmtFloats(fs []float64) string {
+	parts := make([]string, len(fs))
+	for i, f := range fs {
+		parts[i] = strconv.FormatFloat(f, 'f', 1, 64)
+	}
+	return "[" + strings.Join(parts, " ") + "]"
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "astrasim:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,51 @@
+package astrasim_test
+
+import (
+	"fmt"
+	"log"
+
+	astrasim "repro"
+)
+
+// Example_quickstart builds the paper's Conv-4D system and times a 1 GB
+// All-Reduce under both collective schedulers. The simulation is fully
+// deterministic, so the output is stable.
+func Example_quickstart() {
+	for _, scheduler := range []string{"baseline", "themis"} {
+		m, err := astrasim.NewMachine(astrasim.MachineConfig{
+			Topology:       "R(2)_FC(8)_R(8)_SW(4)",
+			BandwidthsGBps: []float64{250, 200, 100, 50},
+			Scheduler:      scheduler,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		report, err := m.Run(astrasim.AllReduce(1 << 30))
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%s: %v NPUs=%d\n", scheduler, report.Makespan, m.NumNPUs())
+	}
+	// Output:
+	// baseline: 9.530958ms NPUs=512
+	// themis: 8.056777ms NPUs=512
+}
+
+// Example_estimator uses the closed-form path for first-order design-space
+// exploration: no event simulation runs at all.
+func Example_estimator() {
+	m, err := astrasim.NewMachine(astrasim.MachineConfig{
+		Topology:       "SW(512)",
+		BandwidthsGBps: []float64{600},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	est, err := m.EstimateCollective("all_reduce", 1<<30)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(est)
+	// Output:
+	// 7.162297ms
+}

@@ -1,0 +1,74 @@
+// Custom topologies and first-order design-space exploration: the paper's
+// topology taxonomy lets any multi-dimensional hierarchical network be
+// written as a one-line notation. This example sweeps bandwidth splits for
+// a fixed 1024-NPU budget across different shapes and ranks them with the
+// closed-form collective estimator, then verifies the winner with a full
+// event simulation.
+package main
+
+import (
+	"fmt"
+	"log"
+	"sort"
+	"time"
+
+	"repro"
+)
+
+type candidate struct {
+	topo string
+	bw   []float64
+	est  time.Duration
+}
+
+func main() {
+	// Every candidate drives 600 GB/s per NPU in total.
+	candidates := []candidate{
+		{topo: "SW(1024)", bw: []float64{600}},
+		{topo: "R(32)_R(32)", bw: []float64{400, 200}},
+		{topo: "SW(32)_SW(32)", bw: []float64{300, 300}},
+		{topo: "R(4)_FC(16)_SW(16)", bw: []float64{300, 200, 100}},
+		{topo: "R(2)_FC(8)_R(8)_SW(8)", bw: []float64{250, 200, 100, 50}},
+		{topo: "FC(16)_SW(64)", bw: []float64{450, 150}},
+	}
+
+	const size = int64(1) << 30
+	for i := range candidates {
+		m, err := astrasim.NewMachine(astrasim.MachineConfig{
+			Topology:       candidates[i].topo,
+			BandwidthsGBps: candidates[i].bw,
+			Scheduler:      "themis",
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		est, err := m.EstimateCollective("all_reduce", size)
+		if err != nil {
+			log.Fatal(err)
+		}
+		candidates[i].est = est
+	}
+	sort.Slice(candidates, func(i, j int) bool { return candidates[i].est < candidates[j].est })
+
+	fmt.Printf("1 GB All-Reduce estimates (Themis) at 600 GB/s per NPU, 1024 NPUs:\n")
+	fmt.Printf("%-24s %-22s %14s\n", "Topology", "BW split (GB/s)", "Estimate")
+	for _, c := range candidates {
+		fmt.Printf("%-24s %-22v %14v\n", c.topo, c.bw, c.est)
+	}
+
+	// Verify the winner with the event-driven simulation.
+	best := candidates[0]
+	m, err := astrasim.NewMachine(astrasim.MachineConfig{
+		Topology:       best.topo,
+		BandwidthsGBps: best.bw,
+		Scheduler:      "themis",
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	rep, err := m.Run(astrasim.AllReduce(size))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nwinner %s simulated: %v (estimate %v)\n", best.topo, rep.Makespan, best.est)
+}

@@ -1,0 +1,45 @@
+// Pipeline parallelism: the workload class that motivated ASTRA-sim 2.0's
+// graph-based execution engine — different NPUs execute different
+// operations at the same time, which the original frontend could not
+// express. This example runs a GPipe-style pipeline at several depths and
+// shows how the fill/drain bubble (idle time) grows with depth while the
+// per-stage compute shrinks.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro"
+)
+
+func main() {
+	m, err := astrasim.NewMachine(astrasim.MachineConfig{
+		Topology:       "R(16)",
+		BandwidthsGBps: []float64{300},
+		PeakTFLOPS:     234,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	const (
+		totalFlops   = 64e12 // one iteration's forward compute, whole model
+		microBatches = 8
+		activation   = int64(16 << 20)
+	)
+
+	fmt.Printf("%-8s %12s %12s %12s %12s\n", "Stages", "Compute", "ExposedComm", "Idle", "Makespan")
+	for _, stages := range []int{2, 4, 8, 16} {
+		flopsPerStage := totalFlops / float64(stages) / float64(microBatches)
+		rep, err := m.Run(astrasim.Pipeline(stages, microBatches, flopsPerStage, activation, 0))
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-8d %12v %12v %12v %12v\n",
+			stages, rep.Compute, rep.ExposedComm, rep.Idle, rep.Makespan)
+	}
+	fmt.Println("\nDeeper pipelines shrink per-stage compute but pay a growing bubble:")
+	fmt.Println("the idle column is the classic GPipe fill/drain cost, visible per NPU")
+	fmt.Println("because every rank runs its own execution-trace graph.")
+}

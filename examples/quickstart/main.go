@@ -1,0 +1,48 @@
+// Quickstart: simulate a 1 GB All-Reduce on a DGX-A100-class cluster —
+// 8 GPUs per node over NVSwitch, 16 nodes over an InfiniBand fabric —
+// and compare the baseline collective scheduler against Themis.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro"
+)
+
+func main() {
+	for _, scheduler := range []string{"baseline", "themis"} {
+		m, err := astrasim.NewMachine(astrasim.MachineConfig{
+			Topology:       "SW(8)_SW(16)", // NVSwitch in-node, IB scale-out
+			BandwidthsGBps: []float64{600, 50},
+			PeakTFLOPS:     234, // A100, as measured in the paper
+			Scheduler:      scheduler,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		report, err := m.Run(astrasim.AllReduce(1 << 30))
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-9s scheduler: All-Reduce(1GB) on %s (%d NPUs) takes %v\n",
+			scheduler, m.TopologySpec(), m.NumNPUs(), report.Makespan)
+		fmt.Printf("          per-dim traffic (MB, sent+recv per NPU): %.1f\n",
+			report.TrafficPerDimMB)
+	}
+
+	// The closed-form estimator answers "what if" questions without
+	// running the event simulation at all.
+	m, err := astrasim.NewMachine(astrasim.MachineConfig{
+		Topology:       "SW(8)_SW(16)",
+		BandwidthsGBps: []float64{600, 100}, // double the scale-out fabric
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	est, err := m.EstimateCollective("all_reduce", 1<<30)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("estimate with a 100 GB/s scale-out fabric instead: %v\n", est)
+}

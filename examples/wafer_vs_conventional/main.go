@@ -1,0 +1,58 @@
+// Wafer-scale vs conventional systems: a pocket version of the paper's
+// Section V-A case study. A 512-NPU wafer (one flat 600 GB/s dimension)
+// races the paper's Conv-4D hierarchical system (250/200/100/50 GB/s over
+// four dimensions) on a single collective and on GPT-3 training
+// iterations, with and without the Themis collective scheduler.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro"
+)
+
+type system struct {
+	name string
+	topo string
+	bw   []float64
+}
+
+func main() {
+	systems := []system{
+		{"W-1D-600", "SW(512)", []float64{600}},
+		{"Conv-4D", "R(2)_FC(8)_R(8)_SW(4)", []float64{250, 200, 100, 50}},
+	}
+	workloads := []astrasim.Workload{
+		astrasim.AllReduce(1 << 30),
+		astrasim.GPT3(),
+	}
+
+	fmt.Printf("%-18s %-10s %-9s %12s %12s %12s\n",
+		"Workload", "System", "Scheduler", "Compute", "ExposedComm", "Makespan")
+	for _, w := range workloads {
+		for _, s := range systems {
+			for _, sched := range []string{"baseline", "themis"} {
+				m, err := astrasim.NewMachine(astrasim.MachineConfig{
+					Topology:       s.topo,
+					BandwidthsGBps: s.bw,
+					PeakTFLOPS:     234,
+					Scheduler:      sched,
+				})
+				if err != nil {
+					log.Fatal(err)
+				}
+				rep, err := m.Run(w)
+				if err != nil {
+					log.Fatal(err)
+				}
+				fmt.Printf("%-18s %-10s %-9s %12v %12v %12v\n",
+					rep.Workload, s.name, sched, rep.Compute, rep.ExposedComm, rep.Makespan)
+			}
+		}
+	}
+	fmt.Println("\nBoth systems drive 600 GB/s per NPU. With Themis, the hierarchical")
+	fmt.Println("system closes most of the gap on pure collectives; on GPT-3 the wafer")
+	fmt.Println("keeps its lead because hybrid parallelism confines each communicator")
+	fmt.Println("to a subset of the dimensions (Section V-A of the paper).")
+}

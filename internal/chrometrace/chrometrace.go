@@ -1,0 +1,74 @@
+// Package chrometrace writes simulation timelines in the Chrome Trace
+// Event Format (the JSON consumed by chrome://tracing and Perfetto), so a
+// simulated run's per-NPU activity — compute, communication, memory, idle
+// — can be inspected on a zoomable timeline exactly like a profiler
+// capture of a real training job.
+package chrometrace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// Event is one "complete" (phase X) trace event.
+type Event struct {
+	// Name is the visible label (e.g. "compute", "comm").
+	Name string
+	// Category groups events for filtering.
+	Category string
+	// PID/TID place the event on a track; we use PID 0 and one TID per
+	// NPU so each NPU renders as its own row.
+	PID, TID int
+	// StartUs and DurUs are in microseconds (the format's time unit).
+	StartUs, DurUs float64
+}
+
+// completeEvent is the wire format.
+type completeEvent struct {
+	Name string  `json:"name"`
+	Cat  string  `json:"cat"`
+	Ph   string  `json:"ph"`
+	PID  int     `json:"pid"`
+	TID  int     `json:"tid"`
+	Ts   float64 `json:"ts"`
+	Dur  float64 `json:"dur"`
+}
+
+// metadataEvent names a thread (an NPU row).
+type metadataEvent struct {
+	Name string            `json:"name"`
+	Ph   string            `json:"ph"`
+	PID  int               `json:"pid"`
+	TID  int               `json:"tid"`
+	Args map[string]string `json:"args"`
+}
+
+// Write emits the events plus per-NPU thread names as a JSON array.
+// npuCount controls how many thread-name rows are emitted; pass 0 to skip
+// naming.
+func Write(w io.Writer, events []Event, npuCount int) error {
+	out := make([]interface{}, 0, len(events)+npuCount)
+	for tid := 0; tid < npuCount; tid++ {
+		out = append(out, metadataEvent{
+			Name: "thread_name",
+			Ph:   "M",
+			PID:  0,
+			TID:  tid,
+			Args: map[string]string{"name": fmt.Sprintf("NPU %d", tid)},
+		})
+	}
+	for _, e := range events {
+		out = append(out, completeEvent{
+			Name: e.Name,
+			Cat:  e.Category,
+			Ph:   "X",
+			PID:  e.PID,
+			TID:  e.TID,
+			Ts:   e.StartUs,
+			Dur:  e.DurUs,
+		})
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(out)
+}

@@ -1,0 +1,50 @@
+package chrometrace
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+func TestWriteFormat(t *testing.T) {
+	var buf bytes.Buffer
+	events := []Event{
+		{Name: "compute", Category: "npu", TID: 0, StartUs: 0, DurUs: 10},
+		{Name: "comm", Category: "npu", TID: 1, StartUs: 5, DurUs: 2.5},
+	}
+	if err := Write(&buf, events, 2); err != nil {
+		t.Fatal(err)
+	}
+	var decoded []map[string]interface{}
+	if err := json.Unmarshal(buf.Bytes(), &decoded); err != nil {
+		t.Fatalf("output is not a JSON array: %v", err)
+	}
+	// 2 thread-name metadata rows + 2 complete events.
+	if len(decoded) != 4 {
+		t.Fatalf("decoded %d entries, want 4", len(decoded))
+	}
+	if decoded[0]["ph"] != "M" || decoded[0]["name"] != "thread_name" {
+		t.Errorf("first entry should be thread metadata: %v", decoded[0])
+	}
+	ev := decoded[2]
+	if ev["ph"] != "X" || ev["name"] != "compute" || ev["dur"] != 10.0 {
+		t.Errorf("complete event malformed: %v", ev)
+	}
+	if decoded[3]["ts"] != 5.0 || decoded[3]["dur"] != 2.5 {
+		t.Errorf("timing lost: %v", decoded[3])
+	}
+}
+
+func TestWriteEmpty(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Write(&buf, nil, 0); err != nil {
+		t.Fatal(err)
+	}
+	var decoded []interface{}
+	if err := json.Unmarshal(buf.Bytes(), &decoded); err != nil {
+		t.Fatal(err)
+	}
+	if len(decoded) != 0 {
+		t.Errorf("empty write produced %d entries", len(decoded))
+	}
+}

@@ -1,0 +1,526 @@
+// Package collective implements the system layer's collective communication
+// machinery: the four collective patterns of Fig. 2 (Reduce-Scatter,
+// All-Gather, All-Reduce, All-to-All) executed as multi-rail hierarchical
+// collectives over multi-dimensional topologies (Section II-B), with
+// chunk-level pipelining across dimension phases and two chunk schedulers —
+// the baseline fixed-order scheduler and the Themis greedy load-balancing
+// scheduler of the paper's case studies.
+//
+// Execution model. A collective over a group with logical spans s1..sn is
+// split into chunks. Each chunk flows through one phase per span
+// (Reduce-Scatter ascending then All-Gather descending for All-Reduce), and
+// every phase reserves the group members' per-dimension links on the shared
+// analytical network backend for the phase's sent+received traffic. Chunks
+// therefore pipeline: while chunk 0 runs its second phase, chunk 1 occupies
+// the first span's links. With enough chunks the collective's runtime
+// converges to the bottleneck dimension's total serialization time, which
+// is exactly the behaviour the paper's Table IV exhibits.
+package collective
+
+import (
+	"fmt"
+
+	"repro/internal/network"
+	"repro/internal/topology"
+	"repro/internal/units"
+)
+
+// Op identifies a collective communication pattern (Fig. 2).
+type Op int
+
+// The four collective patterns used in distributed training.
+const (
+	ReduceScatter Op = iota
+	AllGather
+	AllReduce
+	AllToAll
+)
+
+// String returns the conventional name of the pattern.
+func (o Op) String() string {
+	switch o {
+	case ReduceScatter:
+		return "Reduce-Scatter"
+	case AllGather:
+		return "All-Gather"
+	case AllReduce:
+		return "All-Reduce"
+	case AllToAll:
+		return "All-to-All"
+	default:
+		return fmt.Sprintf("Op(%d)", int(o))
+	}
+}
+
+// Policy selects the chunk scheduler.
+type Policy int
+
+// Scheduling policies evaluated in Fig. 9(a).
+const (
+	// Baseline runs every chunk through spans in fixed order:
+	// Reduce-Scatter ascending (Dim 1 first), All-Gather descending.
+	Baseline Policy = iota
+	// Themis plans each chunk's span permutation to balance projected
+	// load across dimensions (Rashidi et al., ISCA 2022).
+	Themis
+)
+
+// String names the policy.
+func (p Policy) String() string {
+	if p == Themis {
+		return "Themis"
+	}
+	return "Baseline"
+}
+
+// Result summarizes one completed collective.
+type Result struct {
+	Op     Op
+	Size   units.ByteSize
+	Start  units.Time
+	End    units.Time
+	Chunks int
+	// TrafficPerDim[d] is the sent+received bytes per NPU on physical
+	// topology dimension d for this collective — the paper's Table IV
+	// metric.
+	TrafficPerDim []units.ByteSize
+}
+
+// Duration returns the collective's elapsed simulated time.
+func (r Result) Duration() units.Time { return r.End - r.Start }
+
+// Engine executes collectives over a shared analytical network backend.
+type Engine struct {
+	net    *network.Backend
+	top    *topology.Topology
+	policy Policy
+	chunks int
+	// projected[npu][dim] is the estimated remaining busy seconds that
+	// in-flight collectives will still place on each NPU's dimension link
+	// beyond what is already reserved. The Themis planner seeds its load
+	// accumulators from it so concurrent collectives balance against each
+	// other, not just against the queue state at issue time.
+	projected [][]float64
+}
+
+// Option configures an Engine.
+type Option func(*Engine)
+
+// WithPolicy selects the chunk scheduler (default Baseline).
+func WithPolicy(p Policy) Option { return func(e *Engine) { e.policy = p } }
+
+// WithChunks sets the number of chunks collectives are split into
+// (default 64). More chunks deepen the cross-dimension pipeline.
+func WithChunks(n int) Option {
+	return func(e *Engine) {
+		if n > 0 {
+			e.chunks = n
+		}
+	}
+}
+
+// NewEngine builds a collective engine over the given backend.
+func NewEngine(net *network.Backend, opts ...Option) *Engine {
+	e := &Engine{net: net, top: net.Topology(), policy: Baseline, chunks: 64}
+	e.projected = make([][]float64, e.top.NumNPUs())
+	for i := range e.projected {
+		e.projected[i] = make([]float64, e.top.NumDims())
+	}
+	for _, o := range opts {
+		o(e)
+	}
+	return e
+}
+
+// Policy returns the engine's scheduling policy.
+func (e *Engine) Policy() Policy { return e.policy }
+
+// Network returns the engine's backend.
+func (e *Engine) Network() *network.Backend { return e.net }
+
+// phase is one span traversal of one chunk.
+type phase struct {
+	span int // index into run.spans
+	op   Op  // ReduceScatter, AllGather, or AllToAll phase semantics
+}
+
+// chunkState tracks one chunk's progress through its phases.
+type chunkState struct {
+	size   units.ByteSize // current per-NPU data size D
+	done   int            // completed phases
+	phases []phase        // planned phase sequence
+}
+
+// collectiveRun is the in-flight state of one collective.
+type collectiveRun struct {
+	op      Op
+	size    units.ByteSize
+	group   Group
+	members []int
+	spans   []Span
+	start   units.Time
+	pending int
+	traffic []units.ByteSize
+	// loads accumulates each span's projected busy seconds for the Themis
+	// planner's balancing decisions.
+	loads []float64
+	// contrib is this collective's registration in the engine's projected
+	// ledger, keyed by span, removed at completion.
+	contrib []float64
+	done    func(Result)
+	chunks  int
+}
+
+// Start launches a collective of the given total size over a group and
+// invokes done with the result when it completes. Size semantics follow
+// ASTRA-sim's conventions:
+//
+//   - AllReduce(S):      every member starts with S bytes; ends with S.
+//   - ReduceScatter(S):  every member starts with S; ends with S/|group|.
+//   - AllGather(S):      every member starts with S/|group|; ends with S.
+//   - AllToAll(S):       every member exchanges a total of S bytes.
+func (e *Engine) Start(op Op, size units.ByteSize, g Group, done func(Result)) error {
+	if size <= 0 {
+		return fmt.Errorf("collective: non-positive size %d", size)
+	}
+	if len(g.Spans) == 0 {
+		return fmt.Errorf("collective: group has no spans")
+	}
+	members := g.Members(e.top)
+	if len(members) < 2 {
+		return fmt.Errorf("collective: group of size %d; need at least 2 members", len(members))
+	}
+	run := &collectiveRun{
+		op:      op,
+		size:    size,
+		group:   g,
+		members: members,
+		spans:   g.Spans,
+		start:   e.net.Now(),
+		traffic: make([]units.ByteSize, e.top.NumDims()),
+		loads:   make([]float64, len(g.Spans)),
+		done:    done,
+		chunks:  e.chunks,
+	}
+	startSize := InitialShard(op, size, len(members))
+	if startSize <= 0 {
+		return fmt.Errorf("collective: %v of %v over %d members leaves an empty shard", op, size, len(members))
+	}
+	if e.policy == Themis {
+		// Seed the planner with each dimension's congestion: the larger
+		// of the already-reserved backlog and the projected remaining
+		// work of concurrent collectives. Without this, a collective
+		// would happily dump its heavy phases onto a dimension another
+		// collective is about to saturate (e.g. an MP All-Reduce onto the
+		// DP dimension).
+		now := e.net.Now()
+		for si, sp := range run.spans {
+			backlog := (e.net.PhaseAvailability(members, sp.Phys) - now).Seconds()
+			proj := 0.0
+			for _, m := range members {
+				if p := e.projected[m][sp.Phys]; p > proj {
+					proj = p
+				}
+			}
+			if backlog > proj {
+				run.loads[si] = backlog
+			} else {
+				run.loads[si] = proj
+			}
+		}
+	}
+	// Register this collective's expected per-dimension load in the
+	// projected ledger, using the estimate matching how it will actually
+	// be scheduled: baseline ordering for the fixed scheduler, and the
+	// balanced distribution (equal busy time on every spanned dimension)
+	// for Themis — a Themis collective registered with a baseline-shaped
+	// estimate would make concurrent collectives systematically
+	// counter-balance in the wrong direction.
+	run.contrib = make([]float64, len(run.spans))
+	if e.policy == Themis && op != AllToAll {
+		traffic := spanTraffic(op, size, g)
+		var totalBytes float64
+		var aggBW float64
+		for _, sp := range run.spans {
+			aggBW += float64(e.top.Dims[sp.Phys].Bandwidth)
+		}
+		for _, b := range traffic {
+			totalBytes += float64(b)
+		}
+		if aggBW > 0 {
+			balanced := totalBytes / aggBW
+			for si := range run.spans {
+				run.contrib[si] = balanced
+			}
+		}
+	} else {
+		busy := spanBusyTimes(e.top, op, size, g)
+		for si := range run.spans {
+			run.contrib[si] = busy[si].Seconds()
+		}
+	}
+	for si, sp := range run.spans {
+		for _, m := range members {
+			e.projected[m][sp.Phys] += run.contrib[si]
+		}
+	}
+	if units.ByteSize(run.chunks) > startSize {
+		run.chunks = int(startSize) // never create sub-byte chunks
+	}
+	run.pending = run.chunks
+	for c := 0; c < run.chunks; c++ {
+		cs := &chunkState{size: e.chunkSize(startSize, run.chunks, c)}
+		e.planChunk(run, cs)
+		e.advance(run, cs)
+	}
+	return nil
+}
+
+// chunkSize splits size into chunks as evenly as possible.
+func (e *Engine) chunkSize(size units.ByteSize, chunks, idx int) units.ByteSize {
+	base := size / units.ByteSize(chunks)
+	rem := size % units.ByteSize(chunks)
+	if units.ByteSize(idx) < rem {
+		return base + 1
+	}
+	return base
+}
+
+// planChunk builds the chunk's phase plan. Baseline uses the fixed
+// multi-rail order (Reduce-Scatter ascending, All-Gather descending).
+// Themis chooses a per-chunk span permutation that balances projected load
+// across dimensions.
+func (e *Engine) planChunk(run *collectiveRun, cs *chunkState) {
+	all := make([]int, len(run.spans))
+	for i := range all {
+		all[i] = i
+	}
+	if e.policy != Themis {
+		switch run.op {
+		case ReduceScatter:
+			cs.phases = phasesFor(all, ReduceScatter, false)
+		case AllGather:
+			cs.phases = phasesFor(all, AllGather, true)
+		case AllToAll:
+			cs.phases = phasesFor(all, AllToAll, false)
+		case AllReduce:
+			rs := phasesFor(all, ReduceScatter, false)
+			ag := phasesFor(all, AllGather, true)
+			cs.phases = append(rs, ag...)
+		}
+		return
+	}
+	switch run.op {
+	case AllToAll:
+		// All-to-all keeps D constant through every phase, so per-dim
+		// traffic is ordering-invariant: there is nothing for Themis to
+		// balance, and per-chunk order shuffling only roughens the
+		// pipeline. Keep the fixed ascending order.
+		cs.phases = phasesFor(all, AllToAll, false)
+	case ReduceScatter:
+		order := e.themisPlan(run, run.op, cs.size)
+		cs.phases = phasesFor(order, run.op, false)
+	case AllGather:
+		// All-Gather phase costs grow with position, so greedy assignment
+		// must fix the most expensive (last) position first. Planning the
+		// order backward is cost-identical to planning a Reduce-Scatter
+		// forward from the final gathered size, so reuse that planner and
+		// reverse its order.
+		final := cs.size
+		for _, s := range run.spans {
+			final *= units.ByteSize(s.K)
+		}
+		order := reverseInts(e.themisPlan(run, ReduceScatter, final))
+		cs.phases = phasesFor(order, AllGather, false)
+	case AllReduce:
+		// The Reduce-Scatter and All-Gather halves are planned
+		// independently: once every span has been reduce-scattered, each
+		// NPU holds a 1/N shard and the gather may traverse spans in any
+		// order, which roughly doubles the planner's balancing freedom.
+		// The All-Gather half regrows the chunk to cs.size, so its
+		// backward plan starts there.
+		rsOrder := e.themisPlan(run, ReduceScatter, cs.size)
+		agOrder := reverseInts(e.themisPlan(run, ReduceScatter, cs.size))
+		rs := phasesFor(rsOrder, ReduceScatter, false)
+		ag := phasesFor(agOrder, AllGather, false)
+		cs.phases = append(rs, ag...)
+	}
+}
+
+func reverseInts(s []int) []int {
+	for i, j := 0, len(s)-1; i < j; i, j = i+1, j-1 {
+		s[i], s[j] = s[j], s[i]
+	}
+	return s
+}
+
+// themisPlan greedily assigns a span permutation for one half (or all) of
+// the chunk's phases: positions are planned in execution order (largest
+// Reduce-Scatter input first), and each position takes the span whose
+// projected load after absorbing the phase cost is smallest. This is the
+// load-balancing core of the Themis scheduler (Rashidi et al., ISCA 2022),
+// legal because multi-rail hierarchical collectives admit any per-chunk
+// span permutation. chunkSize is the per-NPU data size entering the first
+// planned phase. The returned slice holds span indices.
+func (e *Engine) themisPlan(run *collectiveRun, op Op, chunkSize units.ByteSize) []int {
+	d := float64(chunkSize)
+	order := make([]int, 0, len(run.spans))
+	used := make([]bool, len(run.spans))
+	for pos := 0; pos < len(run.spans); pos++ {
+		best, bestLoad := -1, 0.0
+		var bestCost float64
+		for si, s := range run.spans {
+			if used[si] {
+				continue
+			}
+			k := float64(s.K)
+			bw := float64(e.top.Dims[s.Phys].Bandwidth)
+			if bw <= 0 {
+				bw = 1 // treat unset bandwidth as uncosted
+			}
+			var cost float64
+			switch op {
+			case ReduceScatter, AllToAll:
+				cost = 2 * d * (k - 1) / k / bw
+			case AllGather:
+				cost = 2 * d * (k - 1) / bw
+			}
+			if nl := run.loads[si] + cost; best == -1 || nl < bestLoad {
+				best, bestLoad, bestCost = si, nl, cost
+			}
+		}
+		used[best] = true
+		run.loads[best] += bestCost
+		order = append(order, best)
+		switch op {
+		case ReduceScatter:
+			d /= float64(run.spans[best].K)
+		case AllGather:
+			d *= float64(run.spans[best].K)
+		}
+	}
+	return order
+}
+
+func phasesFor(spanIdx []int, op Op, descending bool) []phase {
+	out := make([]phase, 0, len(spanIdx))
+	if descending {
+		for i := len(spanIdx) - 1; i >= 0; i-- {
+			out = append(out, phase{span: spanIdx[i], op: op})
+		}
+		return out
+	}
+	for _, s := range spanIdx {
+		out = append(out, phase{span: s, op: op})
+	}
+	return out
+}
+
+// advance issues the chunk's next phase, or completes the chunk.
+func (e *Engine) advance(run *collectiveRun, cs *chunkState) {
+	if cs.done >= len(cs.phases) {
+		run.pending--
+		if run.pending == 0 {
+			e.finish(run)
+		}
+		return
+	}
+	ph := cs.phases[cs.done]
+	sp := run.spans[ph.span]
+	dim := e.top.Dims[sp.Phys]
+	traffic := phaseTraffic(ph.op, cs.size, sp.K)
+	_, serEnd := e.net.ReservePhase(run.members, sp.Phys, traffic)
+	run.traffic[sp.Phys] += traffic
+	cs.size = phaseOutput(ph.op, cs.size, sp.K)
+	cs.done++
+	completion := serEnd + phaseLatency(dim, sp.K)
+	e.net.SimSchedule(completion-e.net.Now(), func() {
+		e.advance(run, cs)
+	})
+}
+
+func (e *Engine) finish(run *collectiveRun) {
+	for si, sp := range run.spans {
+		for _, m := range run.members {
+			e.projected[m][sp.Phys] -= run.contrib[si]
+		}
+	}
+	res := Result{
+		Op:            run.op,
+		Size:          run.size,
+		Start:         run.start,
+		End:           e.net.Now(),
+		Chunks:        run.chunks,
+		TrafficPerDim: run.traffic,
+	}
+	if run.done != nil {
+		run.done(res)
+	}
+}
+
+// phaseTraffic returns the per-NPU sent+received bytes of one phase given
+// the chunk's per-NPU input size D on a logical span of size k:
+//
+//	Reduce-Scatter: 2·D·(k−1)/k  (send and receive D/k per peer)
+//	All-Gather:     2·D·(k−1)    (data grows k-fold)
+//	All-to-All:     2·D·(k−1)/k  (reshuffle the (k−1)/k remote fraction)
+func phaseTraffic(op Op, d units.ByteSize, k int) units.ByteSize {
+	switch op {
+	case ReduceScatter, AllToAll:
+		return 2 * d * units.ByteSize(k-1) / units.ByteSize(k)
+	case AllGather:
+		return 2 * d * units.ByteSize(k-1)
+	default:
+		panic("collective: phaseTraffic on composite op")
+	}
+}
+
+// phaseOutput returns the chunk's per-NPU size after the phase.
+func phaseOutput(op Op, d units.ByteSize, k int) units.ByteSize {
+	switch op {
+	case ReduceScatter:
+		return d / units.ByteSize(k)
+	case AllGather:
+		return d * units.ByteSize(k)
+	case AllToAll:
+		return d
+	default:
+		panic("collective: phaseOutput on composite op")
+	}
+}
+
+// phaseLatency is the latency component of one phase on a logical span of
+// size k: the algorithm's step count times the per-step hop latency
+// (Halving-Doubling crosses the switch, i.e. two links, per step).
+func phaseLatency(d topology.Dim, k int) units.Time {
+	if k <= 1 {
+		return 0
+	}
+	steps, hopsPerStep := k-1, 1
+	switch d.Kind {
+	case topology.FullyConnected:
+		steps = 1
+	case topology.Switch:
+		steps = ceilLog2(k)
+		hopsPerStep = 2
+	}
+	return units.Time(steps*hopsPerStep) * d.Latency
+}
+
+func ceilLog2(n int) int {
+	s, v := 0, 1
+	for v < n {
+		v <<= 1
+		s++
+	}
+	return s
+}
+
+// InitialShard returns the per-NPU starting data size for an op of total
+// size S on a group with n members (see Start for the size conventions).
+func InitialShard(op Op, size units.ByteSize, n int) units.ByteSize {
+	if op == AllGather {
+		return size / units.ByteSize(n)
+	}
+	return size
+}

@@ -1,0 +1,137 @@
+package collective
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/topology"
+)
+
+// Span is one logical dimension of a communicator group, mapped onto a
+// physical topology dimension. A dimension-aligned group uses one span per
+// physical dimension with K equal to the dimension size. Strided spans
+// express subgroups inside a physical dimension — e.g. on a 1-D wafer of
+// 512 NPUs, a model-parallel group of 16 is Span{Phys: 0, K: 16, Stride: 1}
+// and its data-parallel counterpart is Span{Phys: 0, K: 32, Stride: 16}.
+// The logical collective algorithm runs over K members and consumes the
+// physical dimension's bandwidth.
+type Span struct {
+	// Phys is the physical topology dimension this span communicates on.
+	Phys int
+	// K is the number of group members along this logical dimension.
+	K int
+	// Stride is the member-to-member distance in physical-dimension
+	// coordinates (1 = adjacent).
+	Stride int
+}
+
+// Group is a communicator: the set of NPUs reached from Base by varying
+// each span's logical coordinate.
+type Group struct {
+	Spans []Span
+	// Base is a member rank; its coordinates outside the spans identify
+	// the communicator instance.
+	Base int
+}
+
+// NewGroup builds a dimension-aligned group spanning the given physical
+// dimensions in full, the common case for hybrid-parallel mappings.
+func NewGroup(top *topology.Topology, dims []int, base int) (Group, error) {
+	if len(dims) == 0 {
+		return Group{}, fmt.Errorf("collective: group must span at least one dimension")
+	}
+	sorted := append([]int(nil), dims...)
+	sort.Ints(sorted)
+	spans := make([]Span, 0, len(sorted))
+	for i, d := range sorted {
+		if i > 0 && sorted[i-1] == d {
+			return Group{}, fmt.Errorf("collective: duplicate dim %d", d)
+		}
+		if d < 0 || d >= top.NumDims() {
+			return Group{}, fmt.Errorf("collective: dim %d out of range [0,%d)", d, top.NumDims())
+		}
+		spans = append(spans, Span{Phys: d, K: top.Dims[d].Size, Stride: 1})
+	}
+	return NewSpanGroup(top, spans, base)
+}
+
+// NewSpanGroup builds a group from explicit spans, validating that every
+// member lands inside the topology without wrapping.
+func NewSpanGroup(top *topology.Topology, spans []Span, base int) (Group, error) {
+	if len(spans) == 0 {
+		return Group{}, fmt.Errorf("collective: group must have at least one span")
+	}
+	if base < 0 || base >= top.NumNPUs() {
+		return Group{}, fmt.Errorf("collective: base rank %d out of range", base)
+	}
+	baseCoord := top.Coord(base)
+	for i, s := range spans {
+		if s.Phys < 0 || s.Phys >= top.NumDims() {
+			return Group{}, fmt.Errorf("collective: span %d physical dim %d out of range", i, s.Phys)
+		}
+		if s.K < 2 {
+			return Group{}, fmt.Errorf("collective: span %d needs K >= 2, got %d", i, s.K)
+		}
+		if s.Stride < 1 {
+			return Group{}, fmt.Errorf("collective: span %d needs stride >= 1, got %d", i, s.Stride)
+		}
+		reach := baseCoord[s.Phys]%s.Stride + (s.K-1)*s.Stride
+		if reach >= top.Dims[s.Phys].Size {
+			return Group{}, fmt.Errorf("collective: span %d (K=%d, stride=%d) exceeds dim %d size %d",
+				i, s.K, s.Stride, s.Phys, top.Dims[s.Phys].Size)
+		}
+	}
+	return Group{Spans: append([]Span(nil), spans...), Base: base}, nil
+}
+
+// FullMachine returns the group spanning every physical dimension in full.
+func FullMachine(top *topology.Topology) Group {
+	spans := make([]Span, top.NumDims())
+	for i := range spans {
+		spans[i] = Span{Phys: i, K: top.Dims[i].Size, Stride: 1}
+	}
+	return Group{Spans: spans, Base: 0}
+}
+
+// Size returns the number of group members.
+func (g Group) Size() int {
+	n := 1
+	for _, s := range g.Spans {
+		n *= s.K
+	}
+	return n
+}
+
+// Members enumerates the member ranks in ascending order. The group's
+// logical origin along each span is the base rank's coordinate modulo the
+// span's stride footprint (so any member can serve as Base).
+func (g Group) Members(top *topology.Topology) []int {
+	coord := top.Coord(g.Base)
+	for _, s := range g.Spans {
+		// Reset the span's coordinate to the group's origin: the base
+		// member's position minus however many whole strides it sits in.
+		coord[s.Phys] -= (coord[s.Phys] / s.Stride % s.K) * s.Stride
+	}
+	members := []int{top.Rank(coord)}
+	for _, s := range g.Spans {
+		step := top.DimStride(s.Phys) * s.Stride
+		grown := make([]int, 0, len(members)*s.K)
+		for i := 0; i < s.K; i++ {
+			for _, m := range members {
+				grown = append(grown, m+i*step)
+			}
+		}
+		members = grown
+	}
+	sort.Ints(members)
+	return members
+}
+
+// Signature returns a canonical identity for the communicator instance:
+// two NPUs issuing "the same" collective produce equal signatures exactly
+// when they belong to the same group instance. It is the lowest member
+// rank plus the span layout.
+func (g Group) Signature(top *topology.Topology) string {
+	members := g.Members(top)
+	return fmt.Sprintf("%d/%v", members[0], g.Spans)
+}

@@ -1,0 +1,195 @@
+package collective
+
+import (
+	"fmt"
+
+	"repro/internal/network"
+	"repro/internal/topology"
+	"repro/internal/units"
+)
+
+// This file implements the three topology-aware collective algorithms of
+// Table I at message granularity — every point-to-point transfer is issued
+// through the network backend individually:
+//
+//	Ring            (Chan et al., PPoPP 2006)  on Ring dims
+//	Direct          (Thakur et al., IJHPCA)    on FullyConnected dims
+//	Halving-Doubling (Thakur et al., IJHPCA)   on Switch dims
+//
+// The chunk-phase model in collective.go is the production path (it scales
+// to thousands of NPUs); the message-level path exists to validate that the
+// aggregate model reproduces the per-message algorithms exactly, and to
+// drive the cycle-level backend comparison.
+
+// RunMessageLevel executes a single-dimension collective at message
+// granularity over the group formed by varying dimension dim from base.
+// It returns the completion time via the done callback. Only single-dim
+// groups are supported; multi-dim collectives compose these phases.
+func RunMessageLevel(net *network.Backend, op Op, size units.ByteSize, dim, base int, tagBase int, done func(units.Time)) error {
+	top := net.Topology()
+	if dim < 0 || dim >= top.NumDims() {
+		return fmt.Errorf("collective: dim %d out of range", dim)
+	}
+	members := top.DimGroup(base, dim)
+	k := len(members)
+	if k < 2 {
+		return fmt.Errorf("collective: message-level group too small")
+	}
+	switch op {
+	case AllGather:
+		shard := size / units.ByteSize(k)
+		runMsgPhase(net, top, members, dim, AllGather, shard, tagBase, done)
+	case ReduceScatter:
+		runMsgPhase(net, top, members, dim, ReduceScatter, size, tagBase, done)
+	case AllReduce:
+		runMsgPhase(net, top, members, dim, ReduceScatter, size, tagBase, func(units.Time) {
+			runMsgPhase(net, top, members, dim, AllGather, size/units.ByteSize(k), tagBase+1<<20, done)
+		})
+	case AllToAll:
+		runMsgAllToAll(net, top, members, dim, size, tagBase, done)
+	default:
+		return fmt.Errorf("collective: unsupported message-level op %v", op)
+	}
+	return nil
+}
+
+// runMsgPhase dispatches on the dimension's building block per Table I.
+func runMsgPhase(net *network.Backend, top *topology.Topology, members []int, dim int, op Op, d units.ByteSize, tagBase int, done func(units.Time)) {
+	switch top.Dims[dim].Kind {
+	case topology.Ring:
+		runRing(net, members, dim, op, d, tagBase, done)
+	case topology.FullyConnected:
+		runDirect(net, members, dim, op, d, tagBase, done)
+	case topology.Switch:
+		runHalvingDoubling(net, members, dim, op, d, tagBase, done)
+	}
+}
+
+// barrier invokes done once count completions have been reported.
+type barrier struct {
+	remaining int
+	fn        func()
+}
+
+func newBarrier(count int, fn func()) *barrier { return &barrier{remaining: count, fn: fn} }
+
+func (b *barrier) arrive() {
+	b.remaining--
+	if b.remaining == 0 {
+		b.fn()
+	}
+}
+
+// runRing runs the ring algorithm: k−1 steps; at each step member i sends
+// its current chunk to member (i+1) and receives from (i−1). For
+// Reduce-Scatter the chunk is D/k; for All-Gather it is the member's shard
+// D (growing the held data each step).
+func runRing(net *network.Backend, members []int, dim int, op Op, d units.ByteSize, tagBase int, done func(units.Time)) {
+	k := len(members)
+	per := d
+	if op == ReduceScatter {
+		per = d / units.ByteSize(k)
+	}
+	var step func(s int)
+	step = func(s int) {
+		if s == k-1 {
+			done(net.Now())
+			return
+		}
+		bar := newBarrier(k, func() { step(s + 1) })
+		for i := 0; i < k; i++ {
+			src, dst := members[i], members[(i+1)%k]
+			net.SendOnDim(src, dst, dim, per, tagBase+s*k+i, nil, func(network.Message) { bar.arrive() })
+		}
+	}
+	step(0)
+}
+
+// runDirect runs the direct algorithm on a fully-connected dimension: a
+// single step in which every member exchanges with every other member
+// simultaneously (D/k per peer for Reduce-Scatter, the full shard D per
+// peer for All-Gather).
+func runDirect(net *network.Backend, members []int, dim int, op Op, d units.ByteSize, tagBase int, done func(units.Time)) {
+	k := len(members)
+	per := d
+	if op == ReduceScatter {
+		per = d / units.ByteSize(k)
+	}
+	bar := newBarrier(k*(k-1), func() { done(net.Now()) })
+	tag := tagBase
+	for i := 0; i < k; i++ {
+		for j := 0; j < k; j++ {
+			if i == j {
+				continue
+			}
+			net.SendOnDim(members[i], members[j], dim, per, tag, nil, func(network.Message) { bar.arrive() })
+			tag++
+		}
+	}
+}
+
+// runHalvingDoubling runs the recursive halving (Reduce-Scatter) or
+// doubling (All-Gather) algorithm across a switch: log2(k) steps of
+// pairwise exchange at power-of-two distances. k must be a power of two;
+// non-power-of-two switch groups fall back to direct exchange, matching
+// collective-library behaviour for irregular sizes.
+func runHalvingDoubling(net *network.Backend, members []int, dim int, op Op, d units.ByteSize, tagBase int, done func(units.Time)) {
+	k := len(members)
+	if k&(k-1) != 0 {
+		runDirect(net, members, dim, op, d, tagBase, done)
+		return
+	}
+	steps := 0
+	for v := 1; v < k; v <<= 1 {
+		steps++
+	}
+	var step func(s int, cur units.ByteSize)
+	step = func(s int, cur units.ByteSize) {
+		if s == steps {
+			done(net.Now())
+			return
+		}
+		// Reduce-Scatter halves the exchanged data each step starting at
+		// D/2; All-Gather doubles it starting at the shard D.
+		var per units.ByteSize
+		var dist int
+		if op == ReduceScatter {
+			per = cur / 2
+			dist = k >> (s + 1)
+		} else {
+			per = cur
+			dist = 1 << s
+		}
+		bar := newBarrier(k, func() {
+			next := per
+			if op == ReduceScatter {
+				next = cur / 2
+			} else {
+				next = cur * 2
+			}
+			step(s+1, next)
+		})
+		for i := 0; i < k; i++ {
+			peer := i ^ dist
+			net.SendOnDim(members[i], members[peer], dim, per, tagBase+s*k+i, nil, func(network.Message) { bar.arrive() })
+		}
+	}
+	step(0, d)
+}
+
+// runMsgAllToAll exchanges size/k bytes between every ordered pair.
+func runMsgAllToAll(net *network.Backend, top *topology.Topology, members []int, dim int, size units.ByteSize, tagBase int, done func(units.Time)) {
+	k := len(members)
+	per := size / units.ByteSize(k)
+	bar := newBarrier(k*(k-1), func() { done(net.Now()) })
+	tag := tagBase
+	for i := 0; i < k; i++ {
+		for j := 0; j < k; j++ {
+			if i == j {
+				continue
+			}
+			net.SendOnDim(members[i], members[j], dim, per, tag, nil, func(network.Message) { bar.arrive() })
+			tag++
+		}
+	}
+}

@@ -1,0 +1,176 @@
+package convert
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"repro/internal/et"
+)
+
+func raw(t *testing.T, v interface{}) json.RawMessage {
+	t.Helper()
+	b, err := json.Marshal(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+func sampleTrace(t *testing.T) *PyTorchTrace {
+	t.Helper()
+	mk := func(rank, peer int, sendFirst bool) PyTorchGraph {
+		kind := "nccl:send"
+		other := "nccl:recv"
+		if !sendFirst {
+			kind, other = other, kind
+		}
+		_ = other
+		return PyTorchGraph{
+			Rank: rank,
+			Nodes: []PyTorchNode{
+				{ID: 1, Name: "aten::matmul", Attrs: map[string]json.RawMessage{
+					"flops": raw(t, 1e9), "mem_bytes": raw(t, 1<<20),
+				}},
+				{ID: 2, Name: "nccl:all_reduce", CtrlDeps: []int{1}, Attrs: map[string]json.RawMessage{
+					"comm_bytes": raw(t, 1<<22),
+				}},
+				{ID: 3, Name: "mem::store", CtrlDeps: []int{2}, Attrs: map[string]json.RawMessage{
+					"tensor_bytes": raw(t, 4096), "remote": raw(t, true),
+				}},
+				{ID: 4, Name: kind, CtrlDeps: []int{3}, Attrs: map[string]json.RawMessage{
+					"comm_bytes": raw(t, 8192), "peer": raw(t, peer), "tag": raw(t, 5),
+				}},
+			},
+		}
+	}
+	return &PyTorchTrace{
+		Name:    "sample",
+		NumNPUs: 2,
+		Graphs:  []PyTorchGraph{mk(0, 1, true), mk(1, 0, false)},
+	}
+}
+
+func TestConvertClassifiesOperators(t *testing.T) {
+	out, err := Convert(sampleTrace(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	nodes := out.Graphs[0].Nodes
+	if nodes[0].Kind != et.KindCompute || nodes[0].FLOPs != 1e9 {
+		t.Errorf("compute node = %+v", nodes[0])
+	}
+	if nodes[1].Kind != et.KindComm || nodes[1].Collective != et.CollAllReduce || nodes[1].CommBytes != 1<<22 {
+		t.Errorf("collective node = %+v", nodes[1])
+	}
+	if nodes[2].Kind != et.KindMemory || nodes[2].MemLocation != et.MemRemote || nodes[2].MemOp != et.MemStore {
+		t.Errorf("memory node = %+v", nodes[2])
+	}
+	if nodes[3].Kind != et.KindSend || nodes[3].Peer != 1 || nodes[3].Tag != 5 {
+		t.Errorf("send node = %+v", nodes[3])
+	}
+	if out.Graphs[1].Nodes[3].Kind != et.KindRecv {
+		t.Errorf("recv node = %+v", out.Graphs[1].Nodes[3])
+	}
+}
+
+func TestConvertPreservesDeps(t *testing.T) {
+	out, err := Convert(sampleTrace(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := out.Graphs[0].Nodes[1].Deps; len(got) != 1 || got[0] != 1 {
+		t.Errorf("deps = %v", got)
+	}
+}
+
+func TestConvertGroupSpans(t *testing.T) {
+	tr := &PyTorchTrace{
+		NumNPUs: 4,
+		Graphs: []PyTorchGraph{
+			{Rank: 0, Nodes: []PyTorchNode{{ID: 1, Name: "nccl:all_gather", Attrs: map[string]json.RawMessage{
+				"comm_bytes":  raw(t, 4096),
+				"group_spans": raw(t, []et.SpanRef{{Phys: 0, K: 2, Stride: 1}}),
+				"in_switch":   raw(t, true),
+			}}}},
+			{Rank: 1, Nodes: []PyTorchNode{{ID: 1, Name: "aten::relu"}}},
+			{Rank: 2, Nodes: []PyTorchNode{{ID: 1, Name: "aten::relu"}}},
+			{Rank: 3, Nodes: []PyTorchNode{{ID: 1, Name: "aten::relu"}}},
+		},
+	}
+	out, err := Convert(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := out.Graphs[0].Nodes[0]
+	if n.Group == nil || len(n.Group.Spans) != 1 || n.Group.Spans[0].K != 2 {
+		t.Errorf("group = %+v", n.Group)
+	}
+	if !n.InSwitch {
+		t.Error("in_switch lost")
+	}
+}
+
+func TestConvertRejectsUnknownOps(t *testing.T) {
+	cases := []string{"mysterious_op", "nccl:broadcast", "mem::flush"}
+	for _, name := range cases {
+		tr := &PyTorchTrace{
+			NumNPUs: 1,
+			Graphs:  []PyTorchGraph{{Rank: 0, Nodes: []PyTorchNode{{ID: 1, Name: name}}}},
+		}
+		if _, err := Convert(tr); err == nil {
+			t.Errorf("operator %q accepted", name)
+		}
+	}
+}
+
+func TestConvertValidatesResult(t *testing.T) {
+	// An orphan send must be caught by ET validation after conversion.
+	tr := &PyTorchTrace{
+		NumNPUs: 2,
+		Graphs: []PyTorchGraph{
+			{Rank: 0, Nodes: []PyTorchNode{{ID: 1, Name: "nccl:send", Attrs: map[string]json.RawMessage{
+				"comm_bytes": raw(t, 64), "peer": raw(t, 1),
+			}}}},
+			{Rank: 1, Nodes: []PyTorchNode{{ID: 1, Name: "aten::relu"}}},
+		},
+	}
+	if _, err := Convert(tr); err == nil {
+		t.Error("orphan send accepted")
+	}
+	if _, err := Convert(&PyTorchTrace{}); err == nil {
+		t.Error("empty trace accepted")
+	}
+}
+
+func TestDecodePyTorchRoundTrip(t *testing.T) {
+	src := sampleTrace(t)
+	var buf bytes.Buffer
+	if err := json.NewEncoder(&buf).Encode(src); err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodePyTorch(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NumNPUs != 2 || len(got.Graphs) != 2 || got.Graphs[0].Nodes[0].Name != "aten::matmul" {
+		t.Errorf("round trip = %+v", got)
+	}
+	if _, err := DecodePyTorch(strings.NewReader("nope")); err == nil {
+		t.Error("malformed JSON accepted")
+	}
+}
+
+func TestConvertedTraceRunsEndToEnd(t *testing.T) {
+	out, err := Convert(sampleTrace(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := out.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if out.NodeCount() != 8 {
+		t.Errorf("NodeCount = %d", out.NodeCount())
+	}
+}

@@ -1,0 +1,93 @@
+package et
+
+import (
+	"fmt"
+)
+
+// Repeat unrolls a single-iteration trace into n back-to-back training
+// iterations: each NPU's graph is cloned n times with fresh node IDs, and
+// every iteration's entry nodes (those with no dependencies) gain an edge
+// from the previous iteration's exit nodes (those nothing depends on) —
+// the synchronous-training iteration boundary. Point-to-point tags are
+// remapped per iteration so sends and receives pair within their own
+// iteration.
+func Repeat(t *Trace, n int) (*Trace, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("et: Repeat needs n >= 1, got %d", n)
+	}
+	if err := t.Validate(); err != nil {
+		return nil, fmt.Errorf("et: Repeat input: %w", err)
+	}
+	if n == 1 {
+		return t, nil
+	}
+	// Tags are remapped as tag + iter*tagStride; find a stride beyond any
+	// existing tag to keep iterations disjoint.
+	maxTag := 0
+	for _, g := range t.Graphs {
+		for _, node := range g.Nodes {
+			if node.Tag > maxTag {
+				maxTag = node.Tag
+			}
+		}
+	}
+	tagStride := maxTag + 1
+
+	out := &Trace{
+		Name:    fmt.Sprintf("%sx%d", t.Name, n),
+		NumNPUs: t.NumNPUs,
+	}
+	for _, g := range t.Graphs {
+		maxID := 0
+		var entries, exits []int
+		hasChild := make(map[int]bool, len(g.Nodes))
+		for _, node := range g.Nodes {
+			if node.ID > maxID {
+				maxID = node.ID
+			}
+			for _, d := range node.Deps {
+				hasChild[d] = true
+			}
+		}
+		for _, node := range g.Nodes {
+			if len(node.Deps) == 0 {
+				entries = append(entries, node.ID)
+			}
+			if !hasChild[node.ID] {
+				exits = append(exits, node.ID)
+			}
+		}
+		idStride := maxID + 1
+
+		ng := &Graph{NPU: g.NPU, Nodes: make([]*Node, 0, len(g.Nodes)*n)}
+		for iter := 0; iter < n; iter++ {
+			off := iter * idStride
+			for _, node := range g.Nodes {
+				clone := *node
+				clone.ID = node.ID + off
+				clone.Deps = make([]int, 0, len(node.Deps)+len(exits))
+				for _, d := range node.Deps {
+					clone.Deps = append(clone.Deps, d+off)
+				}
+				if iter > 0 && len(node.Deps) == 0 {
+					// Iteration boundary: entry waits on the previous
+					// iteration's exits.
+					prevOff := (iter - 1) * idStride
+					for _, e := range exits {
+						clone.Deps = append(clone.Deps, e+prevOff)
+					}
+				}
+				if clone.Kind == KindSend || clone.Kind == KindRecv {
+					clone.Tag = node.Tag + iter*tagStride
+				}
+				ng.Nodes = append(ng.Nodes, &clone)
+			}
+		}
+		_ = entries
+		out.Graphs = append(out.Graphs, ng)
+	}
+	if err := out.Validate(); err != nil {
+		return nil, fmt.Errorf("et: Repeat produced an invalid trace: %w", err)
+	}
+	return out, nil
+}

@@ -1,0 +1,79 @@
+package etgen
+
+import (
+	"repro/internal/et"
+)
+
+// graphBuilder accumulates a node list with auto-assigned IDs. Generators
+// use it to express graphs as straight-line code.
+type graphBuilder struct {
+	nodes  []*et.Node
+	nextID int
+}
+
+func newGraphBuilder() *graphBuilder {
+	return &graphBuilder{nextID: 1}
+}
+
+// dep wraps a node ID for use as a dependency list; id 0 means "no dep".
+func dep(id int) []int {
+	if id == 0 {
+		return nil
+	}
+	return []int{id}
+}
+
+func (b *graphBuilder) add(n *et.Node, deps ...int) int {
+	n.ID = b.nextID
+	b.nextID++
+	for _, d := range deps {
+		if d != 0 {
+			n.Deps = append(n.Deps, d)
+		}
+	}
+	b.nodes = append(b.nodes, n)
+	return n.ID
+}
+
+func (b *graphBuilder) compute(name string, flops float64, memBytes int64, deps ...[]int) int {
+	return b.add(&et.Node{Name: name, Kind: et.KindCompute, FLOPs: flops, MemBytes: memBytes}, flatten(deps)...)
+}
+
+func (b *graphBuilder) memory(name string, op et.MemOp, loc et.MemLocation, bytes int64, deps ...int) int {
+	return b.add(&et.Node{Name: name, Kind: et.KindMemory, MemOp: op, MemLocation: loc, TensorBytes: bytes}, deps...)
+}
+
+func (b *graphBuilder) collective(name string, coll et.CollectiveType, bytes int64, group *et.GroupRef, inSwitch bool, deps ...[]int) int {
+	return b.add(&et.Node{
+		Name: name, Kind: et.KindComm, Collective: coll,
+		CommBytes: bytes, Group: group, InSwitch: inSwitch,
+	}, flatten(deps)...)
+}
+
+func (b *graphBuilder) send(name string, peer, tag int, bytes int64, deps ...int) int {
+	return b.add(&et.Node{Name: name, Kind: et.KindSend, Peer: peer, Tag: tag, CommBytes: bytes}, deps...)
+}
+
+func (b *graphBuilder) recv(name string, peer, tag int, bytes int64, deps ...int) int {
+	return b.add(&et.Node{Name: name, Kind: et.KindRecv, Peer: peer, Tag: tag, CommBytes: bytes}, deps...)
+}
+
+func flatten(deps [][]int) []int {
+	var out []int
+	for _, d := range deps {
+		out = append(out, d...)
+	}
+	return out
+}
+
+// symmetric builds a whole-machine trace where every NPU shares the same
+// node list. Nodes are shared (not copied): the execution engine treats
+// them as read-only and resolves communicator groups per issuing rank, so
+// sharing keeps trace memory independent of machine size.
+func symmetric(name string, numNPUs int, b *graphBuilder) *et.Trace {
+	tr := &et.Trace{Name: name, NumNPUs: numNPUs}
+	for r := 0; r < numNPUs; r++ {
+		tr.Graphs = append(tr.Graphs, &et.Graph{NPU: r, Nodes: b.nodes})
+	}
+	return tr
+}

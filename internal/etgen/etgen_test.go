@@ -1,0 +1,314 @@
+package etgen
+
+import (
+	"testing"
+
+	"repro/internal/collective"
+	"repro/internal/compute"
+	"repro/internal/core"
+	"repro/internal/et"
+	"repro/internal/memory"
+	"repro/internal/topology"
+	"repro/internal/units"
+)
+
+func wafer(n int) *topology.Topology {
+	return topology.MustNew(topology.Dim{
+		Kind: topology.Ring, Size: n, Bandwidth: units.GBps(350), Latency: 0,
+	})
+}
+
+func conv4D() *topology.Topology {
+	return topology.MustNew(
+		topology.Dim{Kind: topology.Ring, Size: 2, Bandwidth: units.GBps(250)},
+		topology.Dim{Kind: topology.FullyConnected, Size: 8, Bandwidth: units.GBps(200)},
+		topology.Dim{Kind: topology.Ring, Size: 8, Bandwidth: units.GBps(100)},
+		topology.Dim{Kind: topology.Switch, Size: 4, Bandwidth: units.GBps(50)},
+	)
+}
+
+func simRun(t *testing.T, top *topology.Topology, tr *et.Trace, mem memory.System) *core.RunStats {
+	t.Helper()
+	if mem.Local.Bandwidth == 0 {
+		mem.Local = memory.LocalModel{Latency: units.Microsecond, Bandwidth: units.GBps(2000)}
+	}
+	sim, err := core.NewSimulator(core.Config{
+		Topology: top,
+		Compute:  compute.A100(),
+		Memory:   mem,
+		Policy:   collective.Baseline,
+		Chunks:   8,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats, err := sim.Run(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return stats
+}
+
+func TestMapHybridWafer(t *testing.T) {
+	m, err := MapHybrid(wafer(512), 16, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.MP) != 1 || m.MP[0] != (et.SpanRef{Phys: 0, K: 16, Stride: 1}) {
+		t.Errorf("MP = %+v", m.MP)
+	}
+	if len(m.DP) != 1 || m.DP[0] != (et.SpanRef{Phys: 0, K: 32, Stride: 16}) {
+		t.Errorf("DP = %+v", m.DP)
+	}
+}
+
+func TestMapHybridConv4D(t *testing.T) {
+	top := conv4D()
+	m, err := MapHybrid(top, 16, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// MP = dims 1 and 2 in full (2 x 8 = 16); DP = dims 3 and 4.
+	want := []et.SpanRef{{Phys: 0, K: 2, Stride: 1}, {Phys: 1, K: 8, Stride: 1}}
+	if len(m.MP) != 2 || m.MP[0] != want[0] || m.MP[1] != want[1] {
+		t.Errorf("MP = %+v", m.MP)
+	}
+	wantDP := []et.SpanRef{{Phys: 2, K: 8, Stride: 1}, {Phys: 3, K: 4, Stride: 1}}
+	if len(m.DP) != 2 || m.DP[0] != wantDP[0] || m.DP[1] != wantDP[1] {
+		t.Errorf("DP = %+v", m.DP)
+	}
+}
+
+func TestMapHybridSplitsDim(t *testing.T) {
+	// MP=4 on 2_8_...: dim 1 in full plus half of dim 2.
+	top := conv4D()
+	m, err := MapHybrid(top, 4, 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []et.SpanRef{{Phys: 0, K: 2, Stride: 1}, {Phys: 1, K: 2, Stride: 1}}
+	if len(m.MP) != 2 || m.MP[0] != want[0] || m.MP[1] != want[1] {
+		t.Errorf("MP = %+v", m.MP)
+	}
+	// DP starts with the residue of dim 2 (K=4, stride=2).
+	if m.DP[0] != (et.SpanRef{Phys: 1, K: 4, Stride: 2}) {
+		t.Errorf("DP = %+v", m.DP)
+	}
+}
+
+func TestMapHybridEdges(t *testing.T) {
+	top := wafer(512)
+	if _, err := MapHybrid(top, 7, 73); err == nil {
+		t.Error("non-factorization accepted")
+	}
+	if _, err := MapHybrid(top, 3, 171); err == nil {
+		t.Error("non-divisor boundary accepted (3 does not divide 512)")
+	}
+	// Pure DP and pure MP.
+	m, err := MapHybrid(top, 1, 512)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.MPGroup() != nil || m.DPGroup() == nil {
+		t.Error("pure DP mapping wrong")
+	}
+	m, err = MapHybrid(top, 512, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.MPGroup() == nil || m.DPGroup() != nil {
+		t.Error("pure MP mapping wrong")
+	}
+}
+
+func TestTransformerTraceValidatesAndRuns(t *testing.T) {
+	top := topology.MustNew(
+		topology.Dim{Kind: topology.Ring, Size: 4, Bandwidth: units.GBps(200)},
+		topology.Dim{Kind: topology.Ring, Size: 2, Bandwidth: units.GBps(50)},
+	)
+	cfg := TransformerConfig{
+		Name: "tiny-gpt", Params: 1e9, Layers: 4, Hidden: 1024, SeqLen: 512,
+		MicroBatch: 1, BytesPerElem: 2, MP: 4,
+	}
+	tr, err := Transformer(top, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	stats := simRun(t, top, tr, memory.System{})
+	if stats.Makespan <= 0 {
+		t.Fatal("empty makespan")
+	}
+	b := stats.MeanBreakdown()
+	if b.Compute <= 0 || b.ExposedComm <= 0 {
+		t.Errorf("breakdown missing compute or comm: %+v", b)
+	}
+	if len(stats.Collectives) == 0 {
+		t.Error("no collectives logged")
+	}
+}
+
+func TestTransformerRejectsBadMP(t *testing.T) {
+	top := wafer(8)
+	cfg := GPT3()
+	cfg.MP = 3
+	if _, err := Transformer(top, cfg); err == nil {
+		t.Error("MP not dividing machine accepted")
+	}
+}
+
+func TestGPT3AndT1TConfigsMatchTableIII(t *testing.T) {
+	g := GPT3()
+	if g.Params != 175e9 || g.MP != 16 {
+		t.Errorf("GPT-3 config = %+v", g)
+	}
+	tt := Transformer1T()
+	if tt.Params != 1e12 || tt.MP != 128 {
+		t.Errorf("T-1T config = %+v", tt)
+	}
+	d := DLRM()
+	if d.MLPParams != 57e6 {
+		t.Errorf("DLRM config = %+v", d)
+	}
+}
+
+func TestDLRMTraceRuns(t *testing.T) {
+	// A slim 25 GB/s interconnect: the 228 MB gradient All-Reduce and the
+	// embedding All-to-Alls dominate the 57M-parameter MLP compute.
+	top := topology.MustNew(topology.Dim{
+		Kind: topology.Ring, Size: 8, Bandwidth: units.GBps(25), Latency: 0,
+	})
+	tr, err := DLRMTrace(top, DLRM())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	stats := simRun(t, top, tr, memory.System{})
+	if stats.Makespan <= 0 {
+		t.Fatal("empty makespan")
+	}
+	// DLRM is communication-dominated: two All-to-Alls plus a 228 MB
+	// All-Reduce dwarf the 57M-parameter MLP compute.
+	b := stats.MeanBreakdown()
+	if b.ExposedComm <= b.Compute {
+		t.Errorf("DLRM should be comm-bound: %+v", b)
+	}
+}
+
+func TestSingleCollectiveMatchesEngine(t *testing.T) {
+	top := conv4D()
+	tr := SingleCollective(top, et.CollAllReduce, units.GB)
+	stats := simRun(t, top, tr, memory.System{})
+	est := collective.Estimate(top, collective.AllReduce, units.GB, collective.FullMachine(top), collective.Baseline, 8)
+	ratio := float64(stats.Makespan) / float64(est)
+	if ratio < 0.9 || ratio > 1.1 {
+		t.Errorf("trace-driven %v vs estimate %v (ratio %.3f)", stats.Makespan, est, ratio)
+	}
+}
+
+func TestMoETraceBothVariants(t *testing.T) {
+	top := topology.MustNew(topology.Dim{
+		Kind: topology.Switch, Size: 8, Bandwidth: units.GBps(100), Latency: 0,
+	})
+	pool := memory.PoolConfig{
+		Design:             memory.Hierarchical,
+		NumNodes:           2,
+		GPUsPerNode:        4,
+		NumOutSwitches:     2,
+		NumRemoteGroups:    4,
+		RemoteGroupBW:      units.GBps(100),
+		GPUSideOutFabricBW: units.GBps(100),
+		InNodeFabricBW:     units.GBps(256),
+	}
+	mem := memory.System{
+		Local:   memory.LocalModel{Latency: units.Microsecond, Bandwidth: units.GBps(2000)},
+		Pool:    pool,
+		HasPool: true,
+	}
+	cfg := MoEConfig{
+		Name: "tiny-moe", Layers: 3,
+		LayerParamBytes: 64 * units.MB, ShardBytes: 8 * units.MB,
+		A2ABytes: 16 * units.MB, FlopsPerLayer: 1e12,
+	}
+	for _, inSwitch := range []bool{false, true} {
+		cfg.UseInSwitch = inSwitch
+		tr, err := MoETrace(top, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := tr.Validate(); err != nil {
+			t.Fatal(err)
+		}
+		stats := simRun(t, top, tr, mem)
+		if stats.Makespan <= 0 {
+			t.Fatalf("inSwitch=%v: empty makespan", inSwitch)
+		}
+		b := stats.MeanBreakdown()
+		if b.ExposedComm <= 0 {
+			t.Errorf("inSwitch=%v: expected exposed communication: %+v", inSwitch, b)
+		}
+		if b.Total() != stats.Makespan {
+			t.Errorf("inSwitch=%v: breakdown total %v != makespan %v", inSwitch, b.Total(), stats.Makespan)
+		}
+	}
+}
+
+func TestPipelineTraceRuns(t *testing.T) {
+	top := wafer(8)
+	cfg := PipelineConfig{
+		Name: "pp-test", Stages: 4, MicroBatches: 4,
+		FlopsPerStage: 1e12, ActivationBytes: 8 * units.MB, GradBytes: 32 * units.MB,
+	}
+	tr, err := Pipeline(top, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Per-rank graphs differ across stages (asymmetric parallelism).
+	if len(tr.Graphs[0].Nodes) == len(tr.Graphs[2].Nodes) {
+		t.Log("note: stage-0 and mid-stage graphs may differ only in kinds")
+	}
+	stats := simRun(t, top, tr, memory.System{})
+	if stats.Makespan <= 0 {
+		t.Fatal("empty makespan")
+	}
+	// Pipeline fill/drain bubbles idle the edge stages.
+	if stats.PerNPU[0].Idle <= 0 {
+		t.Errorf("stage 0 should have bubble idle time: %+v", stats.PerNPU[0])
+	}
+}
+
+func TestPipelineValidation(t *testing.T) {
+	top := wafer(8)
+	if _, err := Pipeline(top, PipelineConfig{Stages: 1, MicroBatches: 1, FlopsPerStage: 1, ActivationBytes: 1}); err == nil {
+		t.Error("single stage accepted")
+	}
+	if _, err := Pipeline(top, PipelineConfig{Stages: 3, MicroBatches: 1, FlopsPerStage: 1, ActivationBytes: 1}); err == nil {
+		t.Error("non-dividing stage count accepted")
+	}
+}
+
+func TestPipelineDeeperPipelineMoreBubble(t *testing.T) {
+	top := wafer(16)
+	mk := func(stages int) units.Time {
+		cfg := PipelineConfig{
+			Name: "pp", Stages: stages, MicroBatches: 2,
+			FlopsPerStage: 1e12, ActivationBytes: units.MB,
+		}
+		tr, err := Pipeline(top, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		stats := simRun(t, top, tr, memory.System{})
+		return stats.PerNPU[0].Idle
+	}
+	if mk(16) <= mk(2) {
+		t.Error("deeper pipeline should produce a larger bubble at stage 0")
+	}
+}

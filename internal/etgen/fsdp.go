@@ -1,0 +1,77 @@
+package etgen
+
+import (
+	"fmt"
+
+	"repro/internal/et"
+	"repro/internal/topology"
+)
+
+// FSDPConfig describes fully-sharded data parallelism (FSDP / ZeRO-3), the
+// other headline strategy the paper's Section III names: parameters,
+// gradients, and optimizer state are sharded across all ranks; each layer
+// is materialized with an All-Gather before use (forward and backward) and
+// gradients leave as a Reduce-Scatter. Layer-granular prefetch overlaps
+// the next layer's gather with the current layer's compute.
+type FSDPConfig struct {
+	Model TransformerConfig
+	// NoPrefetch disables the next-layer gather overlap (ablation knob).
+	NoPrefetch bool
+}
+
+// FSDP generates one fully-sharded training iteration across the whole
+// machine. The trace is symmetric.
+func FSDP(top *topology.Topology, cfg FSDPConfig) (*et.Trace, error) {
+	n := top.NumNPUs()
+	model := cfg.Model
+	if model.Layers < 1 || model.Params <= 0 || model.MicroBatch < 1 || model.BytesPerElem < 1 {
+		return nil, fmt.Errorf("etgen: FSDP %s: invalid model shape", model.Name)
+	}
+	paramsPerLayer := model.Params / float64(model.Layers)
+	tokens := float64(model.MicroBatch * model.SeqLen)
+	fwdFlops := 2 * paramsPerLayer * tokens
+	bwdFlops := 2 * fwdFlops
+	// Full layer weights materialized per rank.
+	layerBytes := int64(paramsPerLayer) * int64(model.BytesPerElem)
+	actBytes := int64(model.MicroBatch*model.SeqLen*model.Hidden) * int64(model.BytesPerElem)
+
+	b := newGraphBuilder()
+	full := (*et.GroupRef)(nil)
+
+	// Forward: gather each layer, compute; prefetch next layer's gather.
+	gathers := make([]int, model.Layers)
+	prevGather, prevComp := 0, 0
+	for l := 0; l < model.Layers; l++ {
+		deps := dep(prevGather)
+		if cfg.NoPrefetch {
+			deps = flatten([][]int{dep(prevGather), dep(prevComp)})
+		}
+		ag := b.collective(fmt.Sprintf("fwd%d.ag", l), et.CollAllGather, layerBytes, full, false, deps)
+		comp := b.compute(fmt.Sprintf("fwd%d", l), fwdFlops, layerBytes+actBytes, dep(ag), dep(prevComp))
+		gathers[l] = ag
+		prevGather, prevComp = ag, comp
+	}
+
+	// Backward: regather each layer (weights were freed), compute, then
+	// reduce-scatter its gradients.
+	prevBwd := prevComp
+	prevRS := 0
+	for l := model.Layers - 1; l >= 0; l-- {
+		deps := dep(prevGather)
+		if cfg.NoPrefetch {
+			deps = flatten([][]int{dep(prevGather), dep(prevBwd)})
+		}
+		ag := b.collective(fmt.Sprintf("bwd%d.ag", l), et.CollAllGather, layerBytes, full, false, deps)
+		comp := b.compute(fmt.Sprintf("bwd%d", l), bwdFlops, layerBytes+actBytes, dep(ag), dep(prevBwd))
+		rs := b.collective(fmt.Sprintf("bwd%d.rs", l), et.CollReduceScatter, layerBytes, full, false, dep(comp), dep(prevRS))
+		prevGather, prevBwd, prevRS = ag, comp, rs
+	}
+
+	// Optimizer on the local shard.
+	shard := int64(model.Params) * int64(model.BytesPerElem) / int64(n)
+	load := b.memory("opt.load", et.MemLoad, et.MemLocal, shard, prevRS, prevBwd)
+	opt := b.compute("opt.step", float64(shard), 2*shard, dep(load))
+	b.memory("opt.store", et.MemStore, et.MemLocal, shard, opt)
+
+	return symmetric(model.Name+"/FSDP", n, b), nil
+}

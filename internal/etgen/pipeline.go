@@ -1,0 +1,107 @@
+package etgen
+
+import (
+	"fmt"
+
+	"repro/internal/et"
+	"repro/internal/topology"
+	"repro/internal/units"
+)
+
+// PipelineConfig describes a GPipe-style pipeline-parallel training
+// iteration: the model is split into Stages, microbatches stream through
+// the pipeline (all forwards, then all backwards), activations travel
+// between stages as point-to-point messages, and each stage's replicas
+// synchronize gradients with a data-parallel All-Reduce at the end.
+//
+// This workload is the paper's motivating example for the graph-based
+// execution engine: different NPUs execute different node sequences, which
+// the original ASTRA-sim frontend could not express.
+type PipelineConfig struct {
+	Name string
+	// Stages is the pipeline depth; must divide the machine size. Ranks
+	// are blocked contiguously: stage s owns ranks [s*B, (s+1)*B).
+	Stages int
+	// MicroBatches is the number of microbatches per iteration.
+	MicroBatches int
+	// FlopsPerStage is the forward compute per microbatch per NPU;
+	// backward costs twice that.
+	FlopsPerStage float64
+	// ActivationBytes is the inter-stage activation payload.
+	ActivationBytes units.ByteSize
+	// GradBytes is each NPU's gradient volume for the intra-stage
+	// data-parallel All-Reduce (0 disables it).
+	GradBytes units.ByteSize
+}
+
+// Pipeline generates the per-rank trace graphs. Unlike the symmetric
+// generators, every rank gets its own graph: stage position changes both
+// the node list and the P2P peers.
+func Pipeline(top *topology.Topology, cfg PipelineConfig) (*et.Trace, error) {
+	n := top.NumNPUs()
+	if cfg.Stages < 2 {
+		return nil, fmt.Errorf("etgen: %s: need at least 2 stages", cfg.Name)
+	}
+	if n%cfg.Stages != 0 {
+		return nil, fmt.Errorf("etgen: %s: %d stages do not divide %d NPUs", cfg.Name, cfg.Stages, n)
+	}
+	if cfg.MicroBatches < 1 || cfg.FlopsPerStage <= 0 || cfg.ActivationBytes <= 0 {
+		return nil, fmt.Errorf("etgen: %s: invalid config", cfg.Name)
+	}
+	block := n / cfg.Stages
+
+	// Intra-stage DP group: the contiguous block decomposes over physical
+	// dims exactly like an MP grid of size `block`.
+	var dpGroup *et.GroupRef
+	if block > 1 && cfg.GradBytes > 0 {
+		m, err := MapHybrid(top, block, cfg.Stages)
+		if err != nil {
+			return nil, fmt.Errorf("etgen: %s: stage block does not factor over the topology: %w", cfg.Name, err)
+		}
+		dpGroup = m.MPGroup()
+	}
+
+	tr := &et.Trace{Name: cfg.Name, NumNPUs: n}
+	const fwdTagBase, bwdTagBase = 1 << 16, 1 << 17
+	for rank := 0; rank < n; rank++ {
+		stage := rank / block
+		b := newGraphBuilder()
+		prev := 0
+		// Forward waves.
+		fwdDone := make([]int, cfg.MicroBatches)
+		for m := 0; m < cfg.MicroBatches; m++ {
+			in := 0
+			if stage > 0 {
+				in = b.recv(fmt.Sprintf("fwd%d.recv", m), rank-block, fwdTagBase+m, int64(cfg.ActivationBytes), prev)
+			}
+			comp := b.compute(fmt.Sprintf("fwd%d", m), cfg.FlopsPerStage, int64(cfg.ActivationBytes), dep(in), dep(prev))
+			out := comp
+			if stage < cfg.Stages-1 {
+				out = b.send(fmt.Sprintf("fwd%d.send", m), rank+block, fwdTagBase+m, int64(cfg.ActivationBytes), comp)
+			}
+			fwdDone[m] = out
+			prev = comp // next microbatch can start once compute frees up
+		}
+		// Backward waves (GPipe: after all forwards).
+		prevBwd := fwdDone[cfg.MicroBatches-1]
+		var lastBwd int
+		for m := cfg.MicroBatches - 1; m >= 0; m-- {
+			in := 0
+			if stage < cfg.Stages-1 {
+				in = b.recv(fmt.Sprintf("bwd%d.recv", m), rank+block, bwdTagBase+m, int64(cfg.ActivationBytes), prevBwd)
+			}
+			comp := b.compute(fmt.Sprintf("bwd%d", m), 2*cfg.FlopsPerStage, int64(cfg.ActivationBytes), dep(in), dep(prevBwd))
+			if stage > 0 {
+				b.send(fmt.Sprintf("bwd%d.send", m), rank-block, bwdTagBase+m, int64(cfg.ActivationBytes), comp)
+			}
+			prevBwd = comp
+			lastBwd = comp
+		}
+		// Intra-stage gradient synchronization.
+		if dpGroup != nil {
+			b.collective("dp_ar", et.CollAllReduce, int64(cfg.GradBytes), dpGroup, false, dep(lastBwd))
+		}
+		tr.Graphs = append(tr.Graphs, &et.Graph{NPU: rank, Nodes: b.nodes})
+	}
+	return tr, nil
+}

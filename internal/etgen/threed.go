@@ -1,0 +1,150 @@
+package etgen
+
+import (
+	"fmt"
+
+	"repro/internal/et"
+	"repro/internal/topology"
+)
+
+// ThreeDConfig describes 3D parallelism — the DeepSpeed/Megatron-LM
+// strategy the paper names as a headline example of what the original
+// ASTRA-sim frontend could not express (Section III-A): pipeline stages
+// across the outermost rank blocks, tensor (model) parallelism innermost,
+// and data parallelism in between. Ranks are laid out as
+//
+//	rank = mp + MP·(dp + DP·stage)
+//
+// so tensor-parallel groups sit on the highest-bandwidth inner dimensions,
+// pipeline neighbours are a whole block apart, and activations cross the
+// scale-out fabric — matching production 3D-parallel deployments.
+type ThreeDConfig struct {
+	Model TransformerConfig
+	// Stages is the pipeline depth; Model.Layers must divide by it.
+	Stages int
+	// MicroBatches per iteration (GPipe schedule).
+	MicroBatches int
+}
+
+// ThreeD generates one 3D-parallel training iteration. Every rank gets its
+// own graph: stage position changes both the node list and the P2P peers.
+func ThreeD(top *topology.Topology, cfg ThreeDConfig) (*et.Trace, error) {
+	n := top.NumNPUs()
+	model := cfg.Model
+	if cfg.Stages < 2 {
+		return nil, fmt.Errorf("etgen: %s: 3D parallelism needs >= 2 stages", model.Name)
+	}
+	if cfg.MicroBatches < 1 {
+		return nil, fmt.Errorf("etgen: %s: need >= 1 microbatch", model.Name)
+	}
+	if model.MP < 1 || n%(model.MP*cfg.Stages) != 0 {
+		return nil, fmt.Errorf("etgen: %s: MP %d x stages %d does not divide %d NPUs",
+			model.Name, model.MP, cfg.Stages, n)
+	}
+	if model.Layers%cfg.Stages != 0 {
+		return nil, fmt.Errorf("etgen: %s: %d layers do not split into %d stages",
+			model.Name, model.Layers, cfg.Stages)
+	}
+	dp := n / model.MP / cfg.Stages
+	grids, err := MapGrid(top, model.MP, dp, cfg.Stages)
+	if err != nil {
+		return nil, err
+	}
+	mpGroup := groupRefOrNil(grids[0])
+	dpGroup := groupRefOrNil(grids[1])
+
+	layersPerStage := model.Layers / cfg.Stages
+	paramsPerLayer := model.Params / float64(model.Layers)
+	tokens := float64(model.MicroBatch * model.SeqLen)
+	fwdFlops := 2 * paramsPerLayer * tokens / float64(model.MP)
+	bwdFlops := 2 * fwdFlops
+	layerBytes := int64(paramsPerLayer) * int64(model.BytesPerElem) / int64(model.MP)
+	actBytes := int64(model.MicroBatch*model.SeqLen*model.Hidden) * int64(model.BytesPerElem)
+	// Stage gradients: this rank's slice of its stage's parameters.
+	gradBytes := int64(paramsPerLayer) * int64(layersPerStage) * int64(model.BytesPerElem) / int64(model.MP)
+
+	block := model.MP * dp
+	const fwdTagBase, bwdTagBase = 1 << 20, 1 << 21
+
+	tr := &et.Trace{Name: fmt.Sprintf("%s/3D(mp%d,dp%d,pp%d)", model.Name, model.MP, dp, cfg.Stages), NumNPUs: n}
+	for rank := 0; rank < n; rank++ {
+		stage := rank / block
+		b := newGraphBuilder()
+
+		// stageWork emits one pass over this stage's layers and returns
+		// the last node.
+		stageWork := func(prefix string, entry int, flops float64) int {
+			prev := entry
+			for l := 0; l < layersPerStage; l++ {
+				comp := b.compute(fmt.Sprintf("%s.l%d", prefix, l), flops, layerBytes+actBytes, dep(prev))
+				cur := comp
+				if mpGroup != nil {
+					ar1 := b.collective(fmt.Sprintf("%s.l%d.mp_ar0", prefix, l), et.CollAllReduce, actBytes, mpGroup, false, dep(comp))
+					ar2 := b.collective(fmt.Sprintf("%s.l%d.mp_ar1", prefix, l), et.CollAllReduce, actBytes, mpGroup, false, dep(ar1))
+					cur = ar2
+				}
+				prev = cur
+			}
+			return prev
+		}
+
+		prev := 0
+		fwdDone := make([]int, cfg.MicroBatches)
+		for m := 0; m < cfg.MicroBatches; m++ {
+			in := 0
+			if stage > 0 {
+				in = b.recv(fmt.Sprintf("fwd%d.recv", m), rank-block, fwdTagBase+m, actBytes, prev)
+			}
+			entry := in
+			if entry == 0 {
+				entry = prev
+			}
+			out := stageWork(fmt.Sprintf("fwd%d", m), entry, fwdFlops)
+			last := out
+			if stage < cfg.Stages-1 {
+				last = b.send(fmt.Sprintf("fwd%d.send", m), rank+block, fwdTagBase+m, actBytes, out)
+			}
+			fwdDone[m] = last
+			prev = out
+		}
+
+		prevBwd := fwdDone[cfg.MicroBatches-1]
+		var lastBwd int
+		for m := cfg.MicroBatches - 1; m >= 0; m-- {
+			in := 0
+			if stage < cfg.Stages-1 {
+				in = b.recv(fmt.Sprintf("bwd%d.recv", m), rank+block, bwdTagBase+m, actBytes, prevBwd)
+			}
+			entry := in
+			if entry == 0 {
+				entry = prevBwd
+			}
+			out := stageWork(fmt.Sprintf("bwd%d", m), entry, bwdFlops)
+			if stage > 0 {
+				b.send(fmt.Sprintf("bwd%d.send", m), rank-block, bwdTagBase+m, actBytes, out)
+			}
+			prevBwd = out
+			lastBwd = out
+		}
+
+		// Unoverlapped data-parallel gradient synchronization per stage.
+		optDep := lastBwd
+		if dpGroup != nil {
+			optDep = b.collective("dp_ar", et.CollAllReduce, gradBytes, dpGroup, false, dep(lastBwd))
+		}
+		shard := int64(paramsPerLayer) * int64(layersPerStage) * int64(model.BytesPerElem) / int64(block)
+		load := b.memory("opt.load", et.MemLoad, et.MemLocal, shard, optDep)
+		opt := b.compute("opt.step", float64(shard), 2*shard, dep(load))
+		b.memory("opt.store", et.MemStore, et.MemLocal, shard, opt)
+
+		tr.Graphs = append(tr.Graphs, &et.Graph{NPU: rank, Nodes: b.nodes})
+	}
+	return tr, nil
+}
+
+func groupRefOrNil(spans []et.SpanRef) *et.GroupRef {
+	if len(spans) == 0 {
+		return nil
+	}
+	return &et.GroupRef{Spans: spans}
+}

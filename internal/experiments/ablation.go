@@ -1,0 +1,79 @@
+package experiments
+
+import (
+	"repro/internal/collective"
+	"repro/internal/network"
+	"repro/internal/timeline"
+	"repro/internal/units"
+)
+
+// Ablations for the simulator's own design choices (DESIGN.md §6): how
+// the chunk-pipelining depth and the scheduler interact on the paper's
+// systems. These are not paper artifacts; they justify the default
+// configuration (64 chunks) and quantify what each mechanism contributes.
+
+// AblationRow is one (system, chunks, policy) measurement of a 1 GB
+// All-Reduce.
+type AblationRow struct {
+	System   string
+	Chunks   int
+	Policy   collective.Policy
+	Duration units.Time
+	// SimEvents is the discrete-event cost of the configuration.
+	SimEvents uint64
+}
+
+// AblationResult is the grid.
+type AblationResult struct {
+	Rows []AblationRow
+}
+
+// Row retrieves one measurement.
+func (r *AblationResult) Row(system string, chunks int, policy collective.Policy) (AblationRow, bool) {
+	for _, row := range r.Rows {
+		if row.System == system && row.Chunks == chunks && row.Policy == policy {
+			return row, true
+		}
+	}
+	return AblationRow{}, false
+}
+
+// Ablation sweeps chunk counts {1, 4, 16, 64, 256} and both schedulers
+// over the W-2D-500 and Conv-4D systems.
+func Ablation() (*AblationResult, error) {
+	out := &AblationResult{}
+	systems := TableII()
+	for _, name := range []string{"W-2D-500", "Conv-4D"} {
+		sys, err := FindSystem(systems, name)
+		if err != nil {
+			return nil, err
+		}
+		for _, chunks := range []int{1, 4, 16, 64, 256} {
+			for _, policy := range []collective.Policy{collective.Baseline, collective.Themis} {
+				eng := timeline.New()
+				net := network.NewBackend(eng, sys.Top)
+				ce := collective.NewEngine(net,
+					collective.WithChunks(chunks),
+					collective.WithPolicy(policy))
+				var res collective.Result
+				err := ce.Start(collective.AllReduce, 1024*units.MB,
+					collective.FullMachine(sys.Top),
+					func(r collective.Result) { res = r })
+				if err != nil {
+					return nil, err
+				}
+				if _, err := eng.Run(); err != nil {
+					return nil, err
+				}
+				out.Rows = append(out.Rows, AblationRow{
+					System:    name,
+					Chunks:    chunks,
+					Policy:    policy,
+					Duration:  res.Duration(),
+					SimEvents: eng.Fired(),
+				})
+			}
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,54 @@
+package experiments
+
+import (
+	"testing"
+
+	"repro/internal/collective"
+)
+
+func TestAblationShape(t *testing.T) {
+	res, err := Ablation()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 2*5*2 {
+		t.Fatalf("grid has %d rows, want 20", len(res.Rows))
+	}
+
+	for _, sys := range []string{"W-2D-500", "Conv-4D"} {
+		// Pipelining: the baseline collective time must drop from 1 chunk
+		// (sum of phases) toward the bottleneck as chunks grow.
+		one, ok1 := res.Row(sys, 1, collective.Baseline)
+		many, ok2 := res.Row(sys, 256, collective.Baseline)
+		if !ok1 || !ok2 {
+			t.Fatal("missing rows")
+		}
+		if many.Duration >= one.Duration {
+			t.Errorf("%s: 256 chunks (%v) should beat 1 chunk (%v)", sys, many.Duration, one.Duration)
+		}
+
+		// Event cost grows with chunk count.
+		if many.SimEvents <= one.SimEvents {
+			t.Errorf("%s: event count should grow with chunks (%d vs %d)", sys, many.SimEvents, one.SimEvents)
+		}
+
+		// Themis at 1 chunk has no balancing granularity: it cannot beat
+		// the best single-permutation schedule by much, while at 64+
+		// chunks it must beat baseline on these multi-dim systems.
+		tb, _ := res.Row(sys, 64, collective.Themis)
+		bb, _ := res.Row(sys, 64, collective.Baseline)
+		if float64(tb.Duration) > 0.95*float64(bb.Duration) {
+			t.Errorf("%s: Themis@64 (%v) should clearly beat baseline@64 (%v)", sys, tb.Duration, bb.Duration)
+		}
+	}
+
+	// The default configuration (64 chunks) captures nearly all the
+	// pipelining benefit: within 5% of 256 chunks.
+	for _, sys := range []string{"W-2D-500", "Conv-4D"} {
+		d64, _ := res.Row(sys, 64, collective.Baseline)
+		d256, _ := res.Row(sys, 256, collective.Baseline)
+		if float64(d64.Duration) > 1.05*float64(d256.Duration) {
+			t.Errorf("%s: 64 chunks (%v) leaves >5%% on the table vs 256 (%v)", sys, d64.Duration, d256.Duration)
+		}
+	}
+}

@@ -1,0 +1,46 @@
+package experiments
+
+import (
+	"testing"
+
+	"repro/internal/memory"
+	"repro/internal/units"
+)
+
+func TestPoolDesignsComparison(t *testing.T) {
+	res, err := PoolDesigns()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 5*3 {
+		t.Fatalf("grid has %d rows, want 15", len(res.Rows))
+	}
+	for _, row := range res.Rows {
+		if row.Transfer <= 0 {
+			t.Errorf("%v at %v: non-positive transfer time", row.Design, row.PerGPU)
+		}
+	}
+	// Transfers scale monotonically with payload within each design.
+	for _, d := range []memory.PoolDesign{
+		memory.Hierarchical, memory.MultiLevelSwitch,
+		memory.RingPool, memory.MeshPool, memory.PrivatePerGPU,
+	} {
+		small, ok1 := res.Row(d, 32*units.MB)
+		large, ok2 := res.Row(d, 1000*units.MB)
+		if !ok1 || !ok2 {
+			t.Fatalf("%v rows missing", d)
+		}
+		if large.Transfer <= small.Transfer {
+			t.Errorf("%v: larger payload not slower (%v vs %v)", d, large.Transfer, small.Transfer)
+		}
+	}
+	// At equal link bandwidth, the single shared ring's capacity is far
+	// below the switched designs': it must be the slowest fabric.
+	ring, _ := res.Row(memory.RingPool, 325*units.MB)
+	hier, _ := res.Row(memory.Hierarchical, 325*units.MB)
+	mesh, _ := res.Row(memory.MeshPool, 325*units.MB)
+	if ring.Transfer <= hier.Transfer || ring.Transfer <= mesh.Transfer {
+		t.Errorf("ring pool should be slowest: ring=%v hier=%v mesh=%v",
+			ring.Transfer, hier.Transfer, mesh.Transfer)
+	}
+}

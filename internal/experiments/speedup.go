@@ -1,0 +1,128 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/collective"
+	"repro/internal/garnet"
+	"repro/internal/network"
+	"repro/internal/timeline"
+	"repro/internal/topology"
+	"repro/internal/units"
+)
+
+// Section IV-C speedup study — a 1 MB All-Reduce on a 3D torus, simulated
+// by the cycle-level backend (the Garnet substitute) and by the analytical
+// backend. The paper reports 21.42 minutes vs 1.70 seconds (756x) on
+// 4x4x4, and that only the analytical backend reaches 16x16x16 (3.14 s).
+// Absolute wall-clock depends on host and implementation; the reproduced
+// claim is the orders-of-magnitude gap and the scalability headroom.
+
+// SpeedupResult compares the two backends.
+type SpeedupResult struct {
+	Size units.ByteSize
+
+	// 4x4x4 torus, both backends.
+	SmallShape          []int
+	CycleWall           time.Duration // cycle-level wall-clock
+	CycleSimTime        units.Time    // simulated collective time (cycle)
+	CycleCycles         uint64
+	AnalyticalWall      time.Duration
+	AnalyticalSimTime   units.Time
+	SpeedupSmall        float64 // CycleWall / AnalyticalWall
+	SimTimeAgreementPct float64 // |cycle - analytical| / cycle, percent
+
+	// 16x16x16 torus, analytical only.
+	LargeShape          []int
+	AnalyticalWallLarge time.Duration
+	AnalyticalSimLarge  units.Time
+}
+
+// garnetLinkGBps is the cycle simulator's per-direction link rate:
+// 16 bytes/flit at 1 GHz.
+const garnetLinkGBps = 16.0
+
+// torusTopo builds the analytical twin of a garnet torus: each ring
+// dimension's shared capacity is twice the per-direction link rate.
+func torusTopo(shape []int) (*topology.Topology, error) {
+	dims := make([]topology.Dim, len(shape))
+	for i, k := range shape {
+		dims[i] = topology.Dim{
+			Kind:      topology.Ring,
+			Size:      k,
+			Bandwidth: units.GBps(2 * garnetLinkGBps),
+			Latency:   units.Nanosecond, // 1 cycle at 1 GHz
+		}
+	}
+	return topology.New(dims...)
+}
+
+func analyticalTorusAllReduce(shape []int, size units.ByteSize) (units.Time, time.Duration, error) {
+	top, err := torusTopo(shape)
+	if err != nil {
+		return 0, 0, err
+	}
+	start := time.Now()
+	eng := timeline.New()
+	net := network.NewBackend(eng, top)
+	// A single chunk mirrors the cycle driver's bulk-synchronous step
+	// barriers, so the two backends simulate the same schedule and their
+	// simulated times are directly comparable.
+	ce := collective.NewEngine(net, collective.WithChunks(1))
+	var res collective.Result
+	if err := ce.Start(collective.AllReduce, size, collective.FullMachine(top), func(r collective.Result) { res = r }); err != nil {
+		return 0, 0, err
+	}
+	if _, err := eng.Run(); err != nil {
+		return 0, 0, err
+	}
+	return res.Duration(), time.Since(start), nil
+}
+
+// Speedup runs the comparison. size is typically 1 MB (the paper's
+// setting); tests may shrink it to bound runtime.
+func Speedup(size units.ByteSize) (*SpeedupResult, error) {
+	out := &SpeedupResult{
+		Size:       size,
+		SmallShape: []int{4, 4, 4},
+		LargeShape: []int{16, 16, 16},
+	}
+
+	// Cycle-level backend on the small torus.
+	start := time.Now()
+	g, err := garnet.New(garnet.Config{Shape: out.SmallShape, FlitBytes: 16, LinkLatency: 1, ClockGHz: 1})
+	if err != nil {
+		return nil, err
+	}
+	simTime, cycles, err := g.AllReduce(size)
+	if err != nil {
+		return nil, fmt.Errorf("speedup: cycle backend: %w", err)
+	}
+	out.CycleWall = time.Since(start)
+	out.CycleSimTime = simTime
+	out.CycleCycles = cycles
+
+	// Analytical backend on the small torus.
+	out.AnalyticalSimTime, out.AnalyticalWall, err = analyticalTorusAllReduce(out.SmallShape, size)
+	if err != nil {
+		return nil, err
+	}
+	if out.AnalyticalWall > 0 {
+		out.SpeedupSmall = float64(out.CycleWall) / float64(out.AnalyticalWall)
+	}
+	if out.CycleSimTime > 0 {
+		diff := out.CycleSimTime - out.AnalyticalSimTime
+		if diff < 0 {
+			diff = -diff
+		}
+		out.SimTimeAgreementPct = 100 * float64(diff) / float64(out.CycleSimTime)
+	}
+
+	// Analytical backend at a scale the cycle backend cannot reach.
+	out.AnalyticalSimLarge, out.AnalyticalWallLarge, err = analyticalTorusAllReduce(out.LargeShape, size)
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}

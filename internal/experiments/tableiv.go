@@ -1,0 +1,84 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/collective"
+	"repro/internal/network"
+	"repro/internal/timeline"
+	"repro/internal/units"
+)
+
+// Table IV — the wafer-scaling study of Section V-A-2: a 1 GB All-Gather
+// on the Base-512 system (2_8_8_4 with a 1000 GB/s on-chip Dim 1), scaled
+// either conventionally (growing the Dim 4 NIC fabric: 2_8_8_{8,16,32}) or
+// wafer-style (growing the on-chip Dim 1: {4,8,16}_8_8_4). The paper's
+// findings: scale-out leaves collective time identical; wafer scale-up
+// cuts it by up to 2.51x before the on-wafer dimension saturates and the
+// time bounces back up (16_8_8_4).
+
+// TableIVRow is one row of the table.
+type TableIVRow struct {
+	System string
+	NPUs   int
+	// TrafficPerDim is the per-NPU sent+received megabytes on each of the
+	// four dimensions (the table's "message size" columns).
+	TrafficPerDim [4]float64
+	// CollectiveTime is the All-Gather completion time.
+	CollectiveTime units.Time
+}
+
+// TableIVResult is the whole table.
+type TableIVResult struct {
+	Rows []TableIVRow
+	// Size is the collective size used (1 GB).
+	Size units.ByteSize
+}
+
+// Row returns the named row.
+func (t *TableIVResult) Row(system string) (TableIVRow, error) {
+	for _, r := range t.Rows {
+		if r.System == system {
+			return r, nil
+		}
+	}
+	return TableIVRow{}, fmt.Errorf("tableiv: unknown system %q", system)
+}
+
+// TableIV regenerates the table.
+func TableIV() (*TableIVResult, error) {
+	const size = units.ByteSize(1024 * units.MB) // the paper's 1 GB
+	order := []string{
+		"Base-512", "Conv-1024", "Conv-2048", "Conv-4096",
+		"W-1024", "W-2048", "W-4096",
+	}
+	systems := ScalingSystems()
+	out := &TableIVResult{Size: size}
+	for _, name := range order {
+		sys, err := FindSystem(systems, name)
+		if err != nil {
+			return nil, err
+		}
+		eng := timeline.New()
+		net := network.NewBackend(eng, sys.Top)
+		ce := collective.NewEngine(net, collective.WithChunks(64))
+		var res collective.Result
+		err = ce.Start(collective.AllGather, size, collective.FullMachine(sys.Top), func(r collective.Result) { res = r })
+		if err != nil {
+			return nil, fmt.Errorf("tableiv: %s: %w", name, err)
+		}
+		if _, err := eng.Run(); err != nil {
+			return nil, fmt.Errorf("tableiv: %s: %w", name, err)
+		}
+		row := TableIVRow{
+			System:         name,
+			NPUs:           sys.Top.NumNPUs(),
+			CollectiveTime: res.Duration(),
+		}
+		for d := 0; d < 4; d++ {
+			row.TrafficPerDim[d] = float64(res.TrafficPerDim[d]) / 1e6 // MB
+		}
+		out.Rows = append(out.Rows, row)
+	}
+	return out, nil
+}

@@ -1,0 +1,65 @@
+package garnet
+
+import (
+	"fmt"
+
+	"repro/internal/units"
+)
+
+// AllReduce executes a multi-rail hierarchical All-Reduce over the torus
+// at full cycle fidelity: Reduce-Scatter ascending over the dimensions
+// then All-Gather descending, each dimension phase running the ring
+// algorithm step by step with every point-to-point message simulated
+// flit by flit. It returns the simulated completion time and the number
+// of cycles executed.
+//
+// This is the "slow path" of the speedup study (Section IV-C): the same
+// collective the analytical backend costs with a handful of arithmetic
+// operations requires millions of simulated cycles here.
+func (s *Simulator) AllReduce(size units.ByteSize) (units.Time, uint64, error) {
+	if size <= 0 {
+		return 0, 0, fmt.Errorf("garnet: non-positive collective size")
+	}
+	start := s.cycle
+	const maxCycles = 1 << 36
+
+	// Reduce-Scatter ascending.
+	d := size
+	for dim := 0; dim < s.dims; dim++ {
+		k := s.cfg.Shape[dim]
+		if err := s.ringPhase(dim, d/units.ByteSize(k), k, maxCycles); err != nil {
+			return 0, 0, err
+		}
+		d /= units.ByteSize(k)
+	}
+	// All-Gather descending.
+	for dim := s.dims - 1; dim >= 0; dim-- {
+		k := s.cfg.Shape[dim]
+		if err := s.ringPhase(dim, d, k, maxCycles); err != nil {
+			return 0, 0, err
+		}
+		d *= units.ByteSize(k)
+	}
+	return s.Time(), s.cycle - start, nil
+}
+
+// ringPhase runs k-1 ring steps on one dimension; every node sends per
+// bytes to its +1 neighbour each step, and the step barrier waits for all
+// deliveries (the bulk-synchronous structure of ring collectives).
+func (s *Simulator) ringPhase(dim int, per units.ByteSize, k int, maxCycles uint64) error {
+	if per <= 0 {
+		per = 1
+	}
+	for step := 0; step < k-1; step++ {
+		for node := 0; node < s.nnodes; node++ {
+			dst := s.neighbor(node, dim, 1)
+			if err := s.Send(node, dst, dim, per, nil); err != nil {
+				return err
+			}
+		}
+		if err := s.Drain(maxCycles); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,287 @@
+// Package garnet is a from-scratch cycle-level, flit-granular network
+// simulator standing in for the gem5 Garnet backend that ASTRA-sim 1.0
+// used (Section IV-C). It exists to reproduce the paper's speedup study:
+// the analytical backend answers the same questions three orders of
+// magnitude faster, because this simulator pays for every flit on every
+// link on every cycle.
+//
+// Model: a k-ary n-cube (torus) with one bidirectional link pair per
+// dimension per node. Messages are wormhole-routed flit trains on
+// shortest ring paths, dimension by dimension; each link moves one flit
+// per cycle and adds a fixed per-hop pipeline latency. Buffers are
+// unbounded (no credit stalls), which favours the cycle simulator — the
+// measured speedup of the analytical backend is therefore conservative.
+package garnet
+
+import (
+	"fmt"
+
+	"repro/internal/units"
+)
+
+// Config describes the simulated torus.
+type Config struct {
+	// Shape lists the torus dimensions, Dim 1 first (e.g. 4,4,4).
+	Shape []int
+	// FlitBytes is the link width: one flit per link per cycle.
+	// Default 16 bytes.
+	FlitBytes int
+	// LinkLatency is the per-hop pipeline depth in cycles. Default 1.
+	LinkLatency int
+	// ClockGHz converts cycles to time. Default 1.0.
+	ClockGHz float64
+}
+
+func (c *Config) defaults() {
+	if c.FlitBytes == 0 {
+		c.FlitBytes = 16
+	}
+	if c.LinkLatency == 0 {
+		c.LinkLatency = 1
+	}
+	if c.ClockGHz == 0 {
+		c.ClockGHz = 1.0
+	}
+}
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	if len(c.Shape) == 0 {
+		return fmt.Errorf("garnet: empty shape")
+	}
+	for i, k := range c.Shape {
+		if k < 2 {
+			return fmt.Errorf("garnet: dim %d size %d; need k >= 2", i+1, k)
+		}
+	}
+	if c.FlitBytes < 0 || c.LinkLatency < 0 || c.ClockGHz < 0 {
+		return fmt.Errorf("garnet: negative parameter")
+	}
+	return nil
+}
+
+// message is an in-flight flit train.
+type message struct {
+	id        int
+	dim       int // torus dimension it travels on
+	dir       int // +1 or -1 around the ring
+	flits     int // train length
+	delivered int // flits that reached the final node
+	done      func()
+}
+
+// flow is a run of same-message flits waiting on one link. All flits of a
+// message on a given link sit at the same path position, so the remaining
+// hop count after this link is a flow property and merging batches of the
+// same message is safe.
+type flow struct {
+	msg       *message
+	flits     int
+	hopsAfter int // hops remaining once this link is crossed
+}
+
+// link is one unidirectional channel: a FIFO of flows plus in-flight flits
+// delayed by the hop latency.
+type link struct {
+	queue []flow
+}
+
+// Simulator is the cycle engine.
+type Simulator struct {
+	cfg    Config
+	nnodes int
+	// links[node][dim][dir01]
+	links []link
+	dims  int
+	// arrivals[cycle % (latency+1)] holds flits landing that cycle.
+	arrivals [][]arrival
+	cycle    uint64
+	inFlight int
+	nextID   int
+}
+
+type arrival struct {
+	msg      *message
+	node     int // router the flit arrives at
+	flits    int
+	hopsLeft int // hops still to travel after landing here
+}
+
+// New builds a simulator.
+func New(cfg Config) (*Simulator, error) {
+	cfg.defaults()
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	n := 1
+	for _, k := range cfg.Shape {
+		n *= k
+	}
+	s := &Simulator{
+		cfg:    cfg,
+		nnodes: n,
+		dims:   len(cfg.Shape),
+		links:  make([]link, n*len(cfg.Shape)*2),
+	}
+	s.arrivals = make([][]arrival, cfg.LinkLatency+1)
+	return s, nil
+}
+
+// NumNodes returns the torus size.
+func (s *Simulator) NumNodes() int { return s.nnodes }
+
+// Cycles returns the cycles executed so far.
+func (s *Simulator) Cycles() uint64 { return s.cycle }
+
+// Time converts the elapsed cycles to simulated time.
+func (s *Simulator) Time() units.Time {
+	return units.FromNanos(float64(s.cycle) / s.cfg.ClockGHz)
+}
+
+func (s *Simulator) coord(node int) []int {
+	c := make([]int, s.dims)
+	for i, k := range s.cfg.Shape {
+		c[i] = node % k
+		node /= k
+	}
+	return c
+}
+
+func (s *Simulator) stride(dim int) int {
+	st := 1
+	for i := 0; i < dim; i++ {
+		st *= s.cfg.Shape[i]
+	}
+	return st
+}
+
+func (s *Simulator) linkIdx(node, dim, dir int) int {
+	d01 := 0
+	if dir > 0 {
+		d01 = 1
+	}
+	return (node*s.dims+dim)*2 + d01
+}
+
+// neighbor returns the next node around dim in direction dir.
+func (s *Simulator) neighbor(node, dim, dir int) int {
+	k := s.cfg.Shape[dim]
+	st := s.stride(dim)
+	pos := (node / st) % k
+	next := (pos + dir + k) % k
+	return node + (next-pos)*st
+}
+
+// Send injects a message travelling within one dimension; done fires when
+// the tail flit reaches the destination. Messages crossing zero hops
+// complete after one cycle.
+func (s *Simulator) Send(src, dst, dim int, size units.ByteSize, done func()) error {
+	if dim < 0 || dim >= s.dims {
+		return fmt.Errorf("garnet: dim %d out of range", dim)
+	}
+	k := s.cfg.Shape[dim]
+	st := s.stride(dim)
+	sp, dp := (src/st)%k, (dst/st)%k
+	if src-sp*st != dst-dp*st {
+		return fmt.Errorf("garnet: src %d and dst %d differ outside dim %d", src, dst, dim)
+	}
+	fwd := (dp - sp + k) % k
+	bwd := (sp - dp + k) % k
+	dir, hops := 1, fwd
+	if bwd < fwd {
+		dir, hops = -1, bwd
+	}
+	flits := int((size + units.ByteSize(s.cfg.FlitBytes) - 1) / units.ByteSize(s.cfg.FlitBytes))
+	if flits == 0 {
+		flits = 1
+	}
+	s.nextID++
+	m := &message{id: s.nextID, dim: dim, dir: dir, flits: flits, done: done}
+	s.inFlight++
+	if hops == 0 {
+		// Local delivery: complete at the next cycle boundary.
+		s.arrivals[(s.cycle+1)%uint64(len(s.arrivals))] = append(
+			s.arrivals[(s.cycle+1)%uint64(len(s.arrivals))],
+			arrival{msg: m, node: dst, flits: flits, hopsLeft: 0})
+		return nil
+	}
+	li := s.linkIdx(src, dim, dir)
+	s.enqueue(li, m, flits, hops-1)
+	return nil
+}
+
+func (s *Simulator) enqueue(li int, m *message, flits, hopsAfter int) {
+	q := &s.links[li].queue
+	if n := len(*q); n > 0 && (*q)[n-1].msg == m && (*q)[n-1].hopsAfter == hopsAfter {
+		(*q)[n-1].flits += flits
+		return
+	}
+	*q = append(*q, flow{msg: m, flits: flits, hopsAfter: hopsAfter})
+}
+
+// Step advances one cycle: every busy link moves one flit, and flits that
+// finished their hop latency are routed at their arrival router.
+func (s *Simulator) Step() {
+	s.cycle++
+	slot := s.cycle % uint64(len(s.arrivals))
+
+	// Move one flit per busy link; it lands after LinkLatency cycles.
+	landSlot := (s.cycle + uint64(s.cfg.LinkLatency)) % uint64(len(s.arrivals))
+	for node := 0; node < s.nnodes; node++ {
+		for dim := 0; dim < s.dims; dim++ {
+			for _, dir := range [2]int{-1, 1} {
+				li := s.linkIdx(node, dim, dir)
+				q := &s.links[li].queue
+				if len(*q) == 0 {
+					continue
+				}
+				head := &(*q)[0]
+				head.flits--
+				next := s.neighbor(node, dim, dir)
+				s.arrivals[landSlot] = append(s.arrivals[landSlot],
+					arrival{msg: head.msg, node: next, flits: 1, hopsLeft: head.hopsAfter})
+				if head.flits == 0 {
+					*q = (*q)[1:]
+				}
+			}
+		}
+	}
+
+	// Route flits that land this cycle.
+	landed := s.arrivals[slot]
+	s.arrivals[slot] = nil
+	for _, a := range landed {
+		s.route(a)
+	}
+}
+
+// route handles a flit batch arriving at a router: forward it along the
+// ring, or absorb it at the destination.
+func (s *Simulator) route(a arrival) {
+	m := a.msg
+	if a.hopsLeft > 0 {
+		li := s.linkIdx(a.node, m.dim, m.dir)
+		s.enqueue(li, m, a.flits, a.hopsLeft-1)
+		return
+	}
+	m.delivered += a.flits
+	if m.delivered == m.flits {
+		s.inFlight--
+		if m.done != nil {
+			m.done()
+		}
+	}
+}
+
+// Drain runs cycles until no messages are in flight. It returns an error
+// if maxCycles elapses first (a safety valve against driver bugs).
+func (s *Simulator) Drain(maxCycles uint64) error {
+	start := s.cycle
+	for s.inFlight > 0 {
+		s.Step()
+		if s.cycle-start > maxCycles {
+			return fmt.Errorf("garnet: %d messages still in flight after %d cycles", s.inFlight, maxCycles)
+		}
+	}
+	return nil
+}

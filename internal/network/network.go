@@ -1,0 +1,309 @@
+// Package network implements ASTRA-sim 2.0's analytical network backend
+// (Section IV-C). Instead of simulating packets cycle by cycle, every
+// message is costed with the paper's first-order equation
+//
+//	Time = LinkLatency × Hops + MessageSize / LinkBandwidth
+//
+// augmented with per-NPU, per-dimension link serialization: each NPU owns
+// one shared-bandwidth link per topology dimension, and both the bytes it
+// sends and the bytes it receives on that dimension serialize on that link.
+// This reproduces ASTRA-sim's per-dimension traffic accounting (Table IV
+// counts sent+received bytes per NPU) while remaining congestion-free for
+// topology-aware hierarchical collectives, the regime the paper targets.
+//
+// The package also exposes the paper's NetworkAPI protocol (Snippet 2):
+// SimSend / SimRecv pairs rendezvous on (src, dst, tag) and invoke
+// callbacks on completion, and SimSchedule defers arbitrary work.
+package network
+
+import (
+	"fmt"
+
+	"repro/internal/timeline"
+	"repro/internal/topology"
+	"repro/internal/units"
+)
+
+// Message describes a delivered transmission, passed to receive callbacks.
+type Message struct {
+	Src, Dst int
+	Tag      int
+	Size     units.ByteSize
+	// Dim is the topology dimension the message travelled on, or -1 for a
+	// multi-dimension (dimension-ordered) route.
+	Dim int
+}
+
+// API is the frontend-facing protocol of the paper's Snippet 2. The system
+// layer is written against this interface so alternative backends (the
+// cycle-level simulator in internal/garnet, test fakes) are drop-in.
+type API interface {
+	// SimSend transmits size bytes from src to dst with a message tag.
+	// sentCB fires when the message has left src (its link is free again);
+	// the matching SimRecv's callback fires on delivery. Either callback
+	// may be nil.
+	SimSend(src, dst, tag int, size units.ByteSize, sentCB func())
+	// SimRecv registers interest in a message (src, dst, tag). recvCB
+	// fires when the matching send has been delivered. Posting the recv
+	// after the message arrived fires the callback immediately.
+	SimRecv(src, dst, tag int, size units.ByteSize, recvCB func(Message))
+	// SimSchedule runs fn after delay of simulated time.
+	SimSchedule(delay units.Time, fn func())
+	// Now returns the current simulated time.
+	Now() units.Time
+}
+
+// Backend is the analytical network backend.
+type Backend struct {
+	eng *timeline.Engine
+	top *topology.Topology
+
+	// linkFree[npu*dims+dim] is the earliest time the NPU's dimension link
+	// is idle again.
+	linkFree []units.Time
+	dims     int
+
+	// Rendezvous state for SimSend/SimRecv matching.
+	arrived map[matchKey][]Message
+	waiting map[matchKey][]func(Message)
+
+	// chargeTransit enables first-order congestion modeling: ring
+	// messages occupy every transit link, not just the endpoints.
+	chargeTransit bool
+
+	stats Stats
+}
+
+type matchKey struct {
+	src, dst, tag int
+}
+
+// Stats accumulates per-dimension and aggregate traffic counters.
+type Stats struct {
+	// BytesPerDim[d] is the total bytes that crossed dimension d,
+	// counted once per message.
+	BytesPerDim []units.ByteSize
+	// SentPerNPUDim[npu][d] / RecvPerNPUDim[npu][d] count per-NPU traffic;
+	// their sum is the paper's "message size per dimension" metric.
+	SentPerNPUDim [][]units.ByteSize
+	RecvPerNPUDim [][]units.ByteSize
+	Messages      int64
+}
+
+// NewBackend builds an analytical backend over a topology, driven by the
+// given event engine.
+func NewBackend(eng *timeline.Engine, top *topology.Topology) *Backend {
+	n, d := top.NumNPUs(), top.NumDims()
+	b := &Backend{
+		eng:      eng,
+		top:      top,
+		linkFree: make([]units.Time, n*d),
+		dims:     d,
+		arrived:  make(map[matchKey][]Message),
+		waiting:  make(map[matchKey][]func(Message)),
+	}
+	b.stats.BytesPerDim = make([]units.ByteSize, d)
+	b.stats.SentPerNPUDim = make([][]units.ByteSize, n)
+	b.stats.RecvPerNPUDim = make([][]units.ByteSize, n)
+	for i := 0; i < n; i++ {
+		b.stats.SentPerNPUDim[i] = make([]units.ByteSize, d)
+		b.stats.RecvPerNPUDim[i] = make([]units.ByteSize, d)
+	}
+	return b
+}
+
+// Topology returns the backend's topology.
+func (b *Backend) Topology() *topology.Topology { return b.top }
+
+// Stats returns a snapshot reference of the accumulated traffic counters.
+func (b *Backend) Stats() *Stats { return &b.stats }
+
+// Now implements API.
+func (b *Backend) Now() units.Time { return b.eng.Now() }
+
+// SimSchedule implements API.
+func (b *Backend) SimSchedule(delay units.Time, fn func()) { b.eng.Schedule(delay, fn) }
+
+func (b *Backend) linkIdx(npu, dim int) int { return npu*b.dims + dim }
+
+// reserve charges the serialization time of size bytes to both endpoint
+// links of a dimension and returns (src egress end, delivery-ready end).
+// Each link is an independent FIFO queue (store-and-forward buffering
+// between endpoints): the transfer occupies the source link and the
+// destination link for size/BW each, and is deliverable when the later of
+// the two finishes. Charging both ends makes sent and received bytes share
+// each NPU's per-dimension bandwidth, which is the accounting the paper's
+// Table IV uses; queueing the ends independently avoids artificial
+// convoy-chains around rings when every NPU sends and receives at once.
+func (b *Backend) reserve(src, dst, dim int, size units.ByteSize) (units.Time, units.Time) {
+	d := b.top.Dims[dim]
+	dur := d.Bandwidth.TransferTime(size)
+	now := b.eng.Now()
+	si, di := b.linkIdx(src, dim), b.linkIdx(dst, dim)
+	srcStart := b.linkFree[si]
+	if srcStart < now {
+		srcStart = now
+	}
+	dstStart := b.linkFree[di]
+	if dstStart < now {
+		dstStart = now
+	}
+	srcEnd, dstEnd := srcStart+dur, dstStart+dur
+	b.linkFree[si] = srcEnd
+	b.linkFree[di] = dstEnd
+	ready := srcEnd
+	if dstEnd > ready {
+		ready = dstEnd
+	}
+	return srcEnd, ready
+}
+
+// SendOnDim transmits size bytes between two NPUs that differ only in
+// dimension dim. sentCB fires when src's link frees; deliveredCB fires when
+// the message lands at dst. This is the fast path used by collective
+// algorithms, which by construction communicate one dimension at a time.
+func (b *Backend) SendOnDim(src, dst, dim int, size units.ByteSize, tag int, sentCB func(), deliveredCB func(Message)) {
+	if src == dst {
+		panic(fmt.Sprintf("network: self-send on dim %d by NPU %d", dim, src))
+	}
+	d := b.top.Dims[dim]
+	srcC, dstC := b.top.Coord(src), b.top.Coord(dst)
+	for i := range srcC {
+		if i != dim && srcC[i] != dstC[i] {
+			panic(fmt.Sprintf("network: SendOnDim(%d->%d, dim %d) endpoints differ in dim %d", src, dst, dim, i))
+		}
+	}
+	hops := d.Hops(srcC[dim], dstC[dim])
+	var srcEnd, ready units.Time
+	if b.chargeTransit {
+		srcEnd, ready = b.reserveTransit(src, dst, dim, size)
+	} else {
+		srcEnd, ready = b.reserve(src, dst, dim, size)
+	}
+	arrive := ready + units.Time(hops)*d.Latency
+
+	b.stats.Messages++
+	b.stats.BytesPerDim[dim] += size
+	b.stats.SentPerNPUDim[src][dim] += size
+	b.stats.RecvPerNPUDim[dst][dim] += size
+
+	msg := Message{Src: src, Dst: dst, Tag: tag, Size: size, Dim: dim}
+	if sentCB != nil {
+		b.eng.ScheduleAt(srcEnd, sentCB)
+	}
+	b.eng.ScheduleAt(arrive, func() {
+		if deliveredCB != nil {
+			deliveredCB(msg)
+		}
+	})
+}
+
+// SimSend implements API using dimension-ordered routing: the message
+// traverses, in ascending dimension order, every dimension where the
+// endpoint coordinates differ, serializing on each dimension's links.
+func (b *Backend) SimSend(src, dst, tag int, size units.ByteSize, sentCB func()) {
+	if src == dst {
+		// Local loopback: deliver instantly.
+		if sentCB != nil {
+			b.eng.Schedule(0, sentCB)
+		}
+		b.eng.Schedule(0, func() {
+			b.deliver(Message{Src: src, Dst: dst, Tag: tag, Size: size, Dim: -1})
+		})
+		return
+	}
+	route := b.route(src, dst)
+	b.sendLeg(src, dst, tag, size, route, 0, sentCB)
+}
+
+// route returns the sequence of intermediate ranks under dimension-ordered
+// routing; the last element is dst.
+func (b *Backend) route(src, dst int) []hopLeg {
+	srcC, dstC := b.top.Coord(src), b.top.Coord(dst)
+	var legs []hopLeg
+	cur := append([]int(nil), srcC...)
+	for dim := 0; dim < b.dims; dim++ {
+		if cur[dim] == dstC[dim] {
+			continue
+		}
+		next := append([]int(nil), cur...)
+		next[dim] = dstC[dim]
+		legs = append(legs, hopLeg{dim: dim, from: b.top.Rank(cur), to: b.top.Rank(next)})
+		cur = next
+	}
+	return legs
+}
+
+type hopLeg struct {
+	dim      int
+	from, to int
+}
+
+func (b *Backend) sendLeg(src, dst, tag int, size units.ByteSize, legs []hopLeg, idx int, sentCB func()) {
+	leg := legs[idx]
+	var sent func()
+	if idx == 0 {
+		sent = sentCB
+	}
+	b.SendOnDim(leg.from, leg.to, leg.dim, size, tag, sent, func(Message) {
+		if idx+1 < len(legs) {
+			b.sendLeg(src, dst, tag, size, legs, idx+1, nil)
+			return
+		}
+		b.deliver(Message{Src: src, Dst: dst, Tag: tag, Size: size, Dim: -1})
+	})
+}
+
+// SimRecv implements API.
+func (b *Backend) SimRecv(src, dst, tag int, size units.ByteSize, recvCB func(Message)) {
+	if recvCB == nil {
+		panic("network: SimRecv requires a callback")
+	}
+	k := matchKey{src: src, dst: dst, tag: tag}
+	if q := b.arrived[k]; len(q) > 0 {
+		msg := q[0]
+		if len(q) == 1 {
+			delete(b.arrived, k)
+		} else {
+			b.arrived[k] = q[1:]
+		}
+		b.eng.Schedule(0, func() { recvCB(msg) })
+		return
+	}
+	b.waiting[k] = append(b.waiting[k], recvCB)
+}
+
+func (b *Backend) deliver(msg Message) {
+	k := matchKey{src: msg.Src, dst: msg.Dst, tag: msg.Tag}
+	if q := b.waiting[k]; len(q) > 0 {
+		cb := q[0]
+		if len(q) == 1 {
+			delete(b.waiting, k)
+		} else {
+			b.waiting[k] = q[1:]
+		}
+		cb(msg)
+		return
+	}
+	b.arrived[k] = append(b.arrived[k], msg)
+}
+
+// EstimateP2P returns the unloaded (no-queueing) latency of a point-to-point
+// message, the closed-form version of the paper's equation.
+func (b *Backend) EstimateP2P(src, dst int, size units.ByteSize) units.Time {
+	if src == dst {
+		return 0
+	}
+	var t units.Time
+	srcC, dstC := b.top.Coord(src), b.top.Coord(dst)
+	for dim, d := range b.top.Dims {
+		if srcC[dim] == dstC[dim] {
+			continue
+		}
+		hops := d.Hops(srcC[dim], dstC[dim])
+		t += units.Time(hops)*d.Latency + d.Bandwidth.TransferTime(size)
+	}
+	return t
+}
+
+var _ API = (*Backend)(nil)

@@ -1,0 +1,40 @@
+package network
+
+import (
+	"repro/internal/units"
+)
+
+// PhaseAvailability returns the earliest time a bulk-synchronous phase over
+// the given members' dim links could begin: the latest of "now" and every
+// member's link-free time. Collective phases are gated by their slowest
+// member, mirroring synchronous training semantics.
+func (b *Backend) PhaseAvailability(members []int, dim int) units.Time {
+	t := b.eng.Now()
+	for _, m := range members {
+		if f := b.linkFree[b.linkIdx(m, dim)]; f > t {
+			t = f
+		}
+	}
+	return t
+}
+
+// ReservePhase reserves every member's dimension link for the serialization
+// of perNPUTraffic bytes (the member's sent+received byte count for the
+// phase — both directions serialize on the shared per-dimension link). It
+// returns the phase's start and serialization-end times. Traffic statistics
+// attribute half the per-NPU traffic to sends and half to receives, so the
+// sum matches the paper's per-dimension message-size accounting.
+func (b *Backend) ReservePhase(members []int, dim int, perNPUTraffic units.ByteSize) (start, end units.Time) {
+	d := b.top.Dims[dim]
+	dur := d.Bandwidth.TransferTime(perNPUTraffic)
+	start = b.PhaseAvailability(members, dim)
+	end = start + dur
+	half := perNPUTraffic / 2
+	for _, m := range members {
+		b.linkFree[b.linkIdx(m, dim)] = end
+		b.stats.SentPerNPUDim[m][dim] += half
+		b.stats.RecvPerNPUDim[m][dim] += perNPUTraffic - half
+	}
+	b.stats.BytesPerDim[dim] += units.ByteSize(len(members)) * half
+	return start, end
+}

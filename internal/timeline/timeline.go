@@ -1,0 +1,140 @@
+// Package timeline implements the discrete-event simulation core shared by
+// every layer of the simulator: a simulation clock and a deterministic
+// min-heap event queue.
+//
+// Events scheduled for the same instant fire in schedule (FIFO) order, which
+// makes simulations byte-for-byte reproducible regardless of map iteration
+// order or goroutine scheduling (the engine is single-threaded by design —
+// discrete-event simulators gain nothing from parallelism at this scale and
+// lose determinism).
+package timeline
+
+import (
+	"container/heap"
+	"fmt"
+
+	"repro/internal/units"
+)
+
+// Callback is an event body, invoked at its scheduled simulated time.
+type Callback func()
+
+type event struct {
+	at  units.Time
+	seq uint64 // schedule order, breaks ties deterministically
+	fn  Callback
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(*event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return e
+}
+
+// Engine is a discrete-event simulation engine. The zero value is not
+// usable; construct with New.
+type Engine struct {
+	now    units.Time
+	queue  eventHeap
+	seq    uint64
+	fired  uint64
+	budget uint64 // max events per Run; 0 = unlimited
+}
+
+// New returns an empty engine at simulated time zero.
+func New() *Engine {
+	return &Engine{}
+}
+
+// Now returns the current simulated time.
+func (e *Engine) Now() units.Time { return e.now }
+
+// Pending reports how many events are waiting in the queue.
+func (e *Engine) Pending() int { return len(e.queue) }
+
+// Fired reports how many events have executed since construction.
+func (e *Engine) Fired() uint64 { return e.fired }
+
+// SetEventBudget caps the number of events a single Run may execute;
+// Run returns an error when the cap is hit. Zero means unlimited.
+// This is a guard against accidental livelock in model code.
+func (e *Engine) SetEventBudget(n uint64) { e.budget = n }
+
+// Schedule enqueues fn to run after delay. A negative delay is an error in
+// the model; it is clamped to zero so the event fires "now" rather than in
+// the past, preserving the monotonic clock invariant.
+func (e *Engine) Schedule(delay units.Time, fn Callback) {
+	if fn == nil {
+		panic("timeline: Schedule called with nil callback")
+	}
+	if delay < 0 {
+		delay = 0
+	}
+	e.seq++
+	heap.Push(&e.queue, &event{at: e.now + delay, seq: e.seq, fn: fn})
+}
+
+// ScheduleAt enqueues fn at an absolute simulated time, which must not be
+// in the past.
+func (e *Engine) ScheduleAt(at units.Time, fn Callback) {
+	if at < e.now {
+		at = e.now
+	}
+	e.Schedule(at-e.now, fn)
+}
+
+// Step executes the single earliest event and returns true, or returns
+// false if the queue is empty.
+func (e *Engine) Step() bool {
+	if len(e.queue) == 0 {
+		return false
+	}
+	ev := heap.Pop(&e.queue).(*event)
+	if ev.at < e.now {
+		// Cannot happen: Schedule clamps to now and the heap orders by time.
+		panic(fmt.Sprintf("timeline: time ran backwards: %v -> %v", e.now, ev.at))
+	}
+	e.now = ev.at
+	e.fired++
+	ev.fn()
+	return true
+}
+
+// Run executes events until the queue drains. It returns the final
+// simulated time, or an error if the configured event budget was exceeded.
+func (e *Engine) Run() (units.Time, error) {
+	start := e.fired
+	for e.Step() {
+		if e.budget > 0 && e.fired-start > e.budget {
+			return e.now, fmt.Errorf("timeline: event budget %d exceeded at t=%v (likely a scheduling livelock)", e.budget, e.now)
+		}
+	}
+	return e.now, nil
+}
+
+// RunUntil executes events with timestamps <= deadline; events beyond the
+// deadline remain queued. The clock advances to the deadline if it was
+// reached without draining.
+func (e *Engine) RunUntil(deadline units.Time) units.Time {
+	for len(e.queue) > 0 && e.queue[0].at <= deadline {
+		e.Step()
+	}
+	if e.now < deadline && len(e.queue) > 0 {
+		e.now = deadline
+	}
+	return e.now
+}

@@ -1,0 +1,195 @@
+package timeline
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/units"
+)
+
+func TestEmptyRun(t *testing.T) {
+	e := New()
+	end, err := e.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if end != 0 {
+		t.Errorf("empty run ended at %v, want 0", end)
+	}
+}
+
+func TestOrdering(t *testing.T) {
+	e := New()
+	var order []int
+	e.Schedule(30*units.Nanosecond, func() { order = append(order, 3) })
+	e.Schedule(10*units.Nanosecond, func() { order = append(order, 1) })
+	e.Schedule(20*units.Nanosecond, func() { order = append(order, 2) })
+	if _, err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range order {
+		if v != i+1 {
+			t.Fatalf("events fired out of order: %v", order)
+		}
+	}
+}
+
+func TestFIFOTieBreak(t *testing.T) {
+	e := New()
+	var order []int
+	for i := 0; i < 100; i++ {
+		i := i
+		e.Schedule(5*units.Nanosecond, func() { order = append(order, i) })
+	}
+	if _, err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("same-time events not FIFO at %d: %v", i, order[:i+1])
+		}
+	}
+}
+
+func TestNestedScheduling(t *testing.T) {
+	e := New()
+	var times []units.Time
+	e.Schedule(10*units.Nanosecond, func() {
+		times = append(times, e.Now())
+		e.Schedule(5*units.Nanosecond, func() {
+			times = append(times, e.Now())
+		})
+	})
+	end, err := e.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if end != 15*units.Nanosecond {
+		t.Errorf("end = %v, want 15ns", end)
+	}
+	if len(times) != 2 || times[0] != 10*units.Nanosecond || times[1] != 15*units.Nanosecond {
+		t.Errorf("times = %v", times)
+	}
+}
+
+func TestNegativeDelayClamped(t *testing.T) {
+	e := New()
+	e.Schedule(10*units.Nanosecond, func() {
+		e.Schedule(-5*units.Nanosecond, func() {
+			if e.Now() != 10*units.Nanosecond {
+				t.Errorf("negative delay fired at %v, want clamp to 10ns", e.Now())
+			}
+		})
+	})
+	if _, err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestScheduleAt(t *testing.T) {
+	e := New()
+	fired := false
+	e.ScheduleAt(42*units.Microsecond, func() { fired = true })
+	end, err := e.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !fired || end != 42*units.Microsecond {
+		t.Errorf("fired=%v end=%v", fired, end)
+	}
+}
+
+func TestNilCallbackPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic on nil callback")
+		}
+	}()
+	New().Schedule(0, nil)
+}
+
+func TestEventBudget(t *testing.T) {
+	e := New()
+	e.SetEventBudget(100)
+	var loop func()
+	loop = func() { e.Schedule(units.Nanosecond, loop) }
+	e.Schedule(0, loop)
+	if _, err := e.Run(); err == nil {
+		t.Error("expected budget-exceeded error from livelock")
+	}
+}
+
+func TestRunUntil(t *testing.T) {
+	e := New()
+	var fired []units.Time
+	for _, d := range []units.Time{10, 20, 30, 40} {
+		d := d
+		e.Schedule(d*units.Nanosecond, func() { fired = append(fired, e.Now()) })
+	}
+	e.RunUntil(25 * units.Nanosecond)
+	if len(fired) != 2 {
+		t.Fatalf("fired %d events before deadline, want 2", len(fired))
+	}
+	if e.Pending() != 2 {
+		t.Errorf("pending = %d, want 2", e.Pending())
+	}
+	if e.Now() != 25*units.Nanosecond {
+		t.Errorf("clock = %v, want 25ns", e.Now())
+	}
+	if _, err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(fired) != 4 {
+		t.Errorf("total fired = %d, want 4", len(fired))
+	}
+}
+
+// Property: for any set of random delays, events fire in nondecreasing
+// time order and the clock never runs backwards.
+func TestMonotonicClockProperty(t *testing.T) {
+	f := func(seed int64, n uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		e := New()
+		count := int(n%64) + 1
+		delays := make([]units.Time, count)
+		for i := range delays {
+			delays[i] = units.Time(rng.Int63n(1_000_000))
+		}
+		var fired []units.Time
+		for _, d := range delays {
+			e.Schedule(d, func() { fired = append(fired, e.Now()) })
+		}
+		if _, err := e.Run(); err != nil {
+			return false
+		}
+		if len(fired) != count {
+			return false
+		}
+		sorted := append([]units.Time(nil), delays...)
+		sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+		for i := range fired {
+			if fired[i] != sorted[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFiredCounter(t *testing.T) {
+	e := New()
+	for i := 0; i < 10; i++ {
+		e.Schedule(units.Time(i)*units.Nanosecond, func() {})
+	}
+	if _, err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if e.Fired() != 10 {
+		t.Errorf("Fired() = %d, want 10", e.Fired())
+	}
+}

@@ -1,0 +1,92 @@
+package topology
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/units"
+)
+
+// Parse builds a Topology from the paper's shape notation, e.g.
+//
+//	"Ring(4)_Ring(2)"            (Google TPUv2/v3)
+//	"SW(3)_SW(2)"                (NVIDIA DGX-2 / DGX-A100 style)
+//	"FC(4)_FC(2)_FC(2)"          (fully-populated DragonFly)
+//	"R(4)_FC(2)_SW(2)"
+//
+// Block names are case-insensitive and accept both short (R, FC, SW) and
+// long (Ring, FullyConnected, Switch) spellings. Bandwidths and latencies
+// are zero; set them afterwards or use ParseWithBandwidth.
+func Parse(spec string) (*Topology, error) {
+	spec = strings.TrimSpace(spec)
+	if spec == "" {
+		return nil, fmt.Errorf("topology: empty spec")
+	}
+	parts := strings.Split(spec, "_")
+	dims := make([]Dim, 0, len(parts))
+	for i, p := range parts {
+		d, err := parseBlock(p)
+		if err != nil {
+			return nil, fmt.Errorf("topology: dim %d %q: %w", i+1, p, err)
+		}
+		dims = append(dims, d)
+	}
+	return New(dims...)
+}
+
+// ParseWithBandwidth parses a shape spec and assigns per-dimension
+// bandwidths (GB/s) positionally, matching the paper's "BW (GB/s)" columns
+// in Table II. The number of bandwidths must equal the number of dims.
+func ParseWithBandwidth(spec string, gbps []float64, hopLatency units.Time) (*Topology, error) {
+	t, err := Parse(spec)
+	if err != nil {
+		return nil, err
+	}
+	if len(gbps) != len(t.Dims) {
+		return nil, fmt.Errorf("topology: spec %q has %d dims but %d bandwidths given", spec, len(t.Dims), len(gbps))
+	}
+	for i := range t.Dims {
+		if gbps[i] < 0 {
+			return nil, fmt.Errorf("topology: dim %d negative bandwidth %v", i+1, gbps[i])
+		}
+		t.Dims[i].Bandwidth = units.GBps(gbps[i])
+		t.Dims[i].Latency = hopLatency
+	}
+	return t, nil
+}
+
+func parseBlock(s string) (Dim, error) {
+	s = strings.TrimSpace(s)
+	open := strings.IndexByte(s, '(')
+	if open < 0 || !strings.HasSuffix(s, ")") {
+		return Dim{}, fmt.Errorf("expected Block(k) form")
+	}
+	name := strings.TrimSpace(s[:open])
+	arg := s[open+1 : len(s)-1]
+	k, err := strconv.Atoi(strings.TrimSpace(arg))
+	if err != nil {
+		return Dim{}, fmt.Errorf("bad size %q: %w", arg, err)
+	}
+	if k < 2 {
+		return Dim{}, fmt.Errorf("size %d; building blocks need k >= 2", k)
+	}
+	kind, err := parseKind(name)
+	if err != nil {
+		return Dim{}, err
+	}
+	return Dim{Kind: kind, Size: k}, nil
+}
+
+func parseKind(name string) (BlockKind, error) {
+	switch strings.ToLower(name) {
+	case "r", "ring":
+		return Ring, nil
+	case "fc", "fullyconnected", "fully-connected":
+		return FullyConnected, nil
+	case "sw", "switch":
+		return Switch, nil
+	default:
+		return 0, fmt.Errorf("unknown building block %q (want Ring/FC/Switch)", name)
+	}
+}

@@ -1,0 +1,278 @@
+// Package topology implements the paper's multi-dimensional hierarchical
+// network representation (Section IV-B): arbitrary topologies are assembled
+// by stacking three building blocks — Ring(k), FullyConnected(k), and
+// Switch(k) — each of which has a known congestion-free topology-aware
+// collective algorithm (Table I):
+//
+//	Ring           -> Ring collective
+//	FullyConnected -> Direct collective
+//	Switch         -> Halving-Doubling collective
+//
+// NPUs are addressed by mixed-radix coordinates: dimension 1 varies fastest,
+// matching the paper's convention that Dim 1 is the innermost (e.g. on-chip
+// or on-wafer) network.
+package topology
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/units"
+)
+
+// BlockKind identifies one of the three hierarchical building blocks.
+type BlockKind int
+
+// The three building blocks of Fig. 3(a).
+const (
+	Ring BlockKind = iota
+	FullyConnected
+	Switch
+)
+
+// String returns the canonical short notation for the block.
+func (k BlockKind) String() string {
+	switch k {
+	case Ring:
+		return "R"
+	case FullyConnected:
+		return "FC"
+	case Switch:
+		return "SW"
+	default:
+		return fmt.Sprintf("BlockKind(%d)", int(k))
+	}
+}
+
+// LongName returns the spelled-out block name used in the paper's prose.
+func (k BlockKind) LongName() string {
+	switch k {
+	case Ring:
+		return "Ring"
+	case FullyConnected:
+		return "FullyConnected"
+	case Switch:
+		return "Switch"
+	default:
+		return k.String()
+	}
+}
+
+// CollectiveName returns the topology-aware collective algorithm associated
+// with the block by Table I of the paper.
+func (k BlockKind) CollectiveName() string {
+	switch k {
+	case Ring:
+		return "Ring"
+	case FullyConnected:
+		return "Direct"
+	case Switch:
+		return "HalvingDoubling"
+	default:
+		return "Unknown"
+	}
+}
+
+// Dim is one dimension of a multi-dimensional topology: a building block of
+// a given size with a per-NPU bandwidth and a per-hop link latency.
+type Dim struct {
+	Kind BlockKind
+	// Size is the number of NPUs connected by this block (k in Ring(k)).
+	Size int
+	// Bandwidth is the network bandwidth available to each NPU on this
+	// dimension, in the paper's per-dimension GB/s convention (Table II).
+	Bandwidth units.Bandwidth
+	// Latency is the per-hop link traversal latency.
+	Latency units.Time
+}
+
+// Hops returns the number of link traversals for a message between two
+// distinct positions a and b within this dimension.
+func (d Dim) Hops(a, b int) int {
+	if a == b {
+		return 0
+	}
+	switch d.Kind {
+	case Ring:
+		fwd := (b - a + d.Size) % d.Size
+		bwd := (a - b + d.Size) % d.Size
+		if fwd < bwd {
+			return fwd
+		}
+		return bwd
+	case FullyConnected:
+		return 1
+	case Switch:
+		return 2 // NPU -> switch -> NPU
+	default:
+		return 1
+	}
+}
+
+// Steps returns the number of communication steps the block's topology-aware
+// collective algorithm uses on a group of this size (used for latency terms).
+func (d Dim) Steps() int {
+	if d.Size <= 1 {
+		return 0
+	}
+	switch d.Kind {
+	case Ring:
+		return d.Size - 1
+	case FullyConnected:
+		return 1
+	case Switch:
+		return ceilLog2(d.Size)
+	default:
+		return d.Size - 1
+	}
+}
+
+func ceilLog2(n int) int {
+	s, v := 0, 1
+	for v < n {
+		v <<= 1
+		s++
+	}
+	return s
+}
+
+// Topology is an ordered stack of dimensions; Dim 1 is index 0.
+type Topology struct {
+	Dims []Dim
+}
+
+// New validates and constructs a topology from its dimensions.
+func New(dims ...Dim) (*Topology, error) {
+	if len(dims) == 0 {
+		return nil, fmt.Errorf("topology: at least one dimension required")
+	}
+	total := 1
+	for i, d := range dims {
+		if d.Size < 2 {
+			return nil, fmt.Errorf("topology: dim %d size %d; building blocks need k >= 2", i+1, d.Size)
+		}
+		if d.Bandwidth < 0 {
+			return nil, fmt.Errorf("topology: dim %d has negative bandwidth", i+1)
+		}
+		if d.Latency < 0 {
+			return nil, fmt.Errorf("topology: dim %d has negative latency", i+1)
+		}
+		total *= d.Size
+		if total > 1<<24 {
+			return nil, fmt.Errorf("topology: more than %d NPUs is not supported", 1<<24)
+		}
+	}
+	t := &Topology{Dims: append([]Dim(nil), dims...)}
+	return t, nil
+}
+
+// MustNew is New for statically known-good topologies; it panics on error.
+func MustNew(dims ...Dim) *Topology {
+	t, err := New(dims...)
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
+
+// NumNPUs returns the total number of NPUs (the product of dim sizes).
+func (t *Topology) NumNPUs() int {
+	n := 1
+	for _, d := range t.Dims {
+		n *= d.Size
+	}
+	return n
+}
+
+// NumDims returns the number of stacked dimensions.
+func (t *Topology) NumDims() int { return len(t.Dims) }
+
+// Shape returns the dimension sizes, Dim 1 first.
+func (t *Topology) Shape() []int {
+	s := make([]int, len(t.Dims))
+	for i, d := range t.Dims {
+		s[i] = d.Size
+	}
+	return s
+}
+
+// String returns the paper's shape notation, e.g. "R(4)_FC(2)_SW(2)".
+func (t *Topology) String() string {
+	parts := make([]string, len(t.Dims))
+	for i, d := range t.Dims {
+		parts[i] = fmt.Sprintf("%s(%d)", d.Kind, d.Size)
+	}
+	return strings.Join(parts, "_")
+}
+
+// Coord converts a linear NPU rank to mixed-radix coordinates (Dim 1
+// varies fastest).
+func (t *Topology) Coord(rank int) []int {
+	c := make([]int, len(t.Dims))
+	for i, d := range t.Dims {
+		c[i] = rank % d.Size
+		rank /= d.Size
+	}
+	return c
+}
+
+// Rank converts mixed-radix coordinates back to a linear NPU rank.
+func (t *Topology) Rank(coord []int) int {
+	rank, stride := 0, 1
+	for i, d := range t.Dims {
+		rank += coord[i] * stride
+		stride *= d.Size
+	}
+	return rank
+}
+
+// DimStride returns the rank distance between neighbours along dim (0-based).
+func (t *Topology) DimStride(dim int) int {
+	stride := 1
+	for i := 0; i < dim; i++ {
+		stride *= t.Dims[i].Size
+	}
+	return stride
+}
+
+// DimGroup returns the ranks of all NPUs that share every coordinate with
+// rank except along dim (0-based) — i.e. the communicator group for a
+// collective phase on that dimension. The result is ordered by position in
+// the dimension and always includes rank itself.
+func (t *Topology) DimGroup(rank, dim int) []int {
+	stride := t.DimStride(dim)
+	size := t.Dims[dim].Size
+	pos := (rank / stride) % size
+	base := rank - pos*stride
+	group := make([]int, size)
+	for i := 0; i < size; i++ {
+		group[i] = base + i*stride
+	}
+	return group
+}
+
+// Hops returns the total link traversals between two NPUs under
+// dimension-ordered routing: per-dimension hop counts are summed.
+func (t *Topology) Hops(src, dst int) int {
+	a, b := t.Coord(src), t.Coord(dst)
+	hops := 0
+	for i, d := range t.Dims {
+		hops += d.Hops(a[i], b[i])
+	}
+	return hops
+}
+
+// AggregateBandwidth returns the total per-NPU network bandwidth summed
+// over all dimensions, the paper's "BW/NPU" figure of merit.
+func (t *Topology) AggregateBandwidth() units.Bandwidth {
+	var bw units.Bandwidth
+	for _, d := range t.Dims {
+		bw += d.Bandwidth
+	}
+	return bw
+}
+
+// Clone returns a deep copy; mutating the copy's dims leaves t unchanged.
+func (t *Topology) Clone() *Topology {
+	return &Topology{Dims: append([]Dim(nil), t.Dims...)}
+}
