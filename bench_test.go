@@ -13,6 +13,7 @@ import (
 	"repro/internal/experiments"
 	"repro/internal/garnet"
 	"repro/internal/network"
+	"repro/internal/sweep"
 	"repro/internal/timeline"
 	"repro/internal/topology"
 	"repro/internal/units"
@@ -22,7 +23,7 @@ import (
 // sweep (E1): 12 All-Reduce configurations against the reference system.
 func BenchmarkFig4Validation(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		res, err := experiments.Fig4()
+		res, err := experiments.Fig4(experiments.Options{})
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -72,7 +73,7 @@ func BenchmarkSpeedupGarnet(b *testing.B) {
 // BenchmarkTableIV regenerates the seven-row wafer-scaling table (E3).
 func BenchmarkTableIV(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		res, err := experiments.TableIV()
+		res, err := experiments.TableIV(experiments.Options{})
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -105,7 +106,7 @@ func BenchmarkFig9b(b *testing.B) {
 // with the sweep's corner points.
 func BenchmarkFig11(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		if _, err := experiments.Fig11(false); err != nil {
+		if _, err := experiments.Fig11(experiments.Options{Reduced: true}); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -114,7 +115,7 @@ func BenchmarkFig11(b *testing.B) {
 // BenchmarkHierMemSweep regenerates the full 8x5 design-space sweep (E7).
 func BenchmarkHierMemSweep(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		res, err := experiments.Fig11(true)
+		res, err := experiments.Fig11(experiments.Options{})
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -123,6 +124,33 @@ func BenchmarkHierMemSweep(b *testing.B) {
 		}
 	}
 }
+
+// --- Sweep engine: serial vs parallel execution ---
+
+// benchSweepWorkers regenerates a bundle of experiment grids (Fig. 4,
+// Table IV, the ablation) through the sweep engine at a fixed worker
+// count. The Serial/Parallel pair tracks the engine's wall-clock speedup
+// in the perf trajectory; on an N-core host the parallel variant should
+// approach Nx (>2x on 4 cores) with byte-identical results.
+func benchSweepWorkers(b *testing.B, workers int) {
+	o := experiments.Options{Exec: sweep.Exec{Workers: workers}}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Fig4(o); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := experiments.TableIV(o); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := experiments.Ablation(o); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSweepSerial(b *testing.B) { benchSweepWorkers(b, 1) }
+
+func BenchmarkSweepParallel(b *testing.B) { benchSweepWorkers(b, 0) } // all cores
 
 // --- Ablations for DESIGN.md's modeling choices ---
 

@@ -10,6 +10,24 @@
 //	astrasim -config machine.json -workload gpt3
 //
 //	astrasim -topology "R(4)" -bw 300 -trace trace.json
+//
+// With -sweep it instead runs a declarative machine x workload grid on
+// the parallel sweep engine (results are byte-identical for any
+// -parallel value; duplicate cells simulate once):
+//
+//	astrasim -sweep grid.json -parallel 8 -json
+//
+// where grid.json looks like
+//
+//	{
+//	  "name": "bw-scan",
+//	  "machines": [
+//	    {"name": "conv-4d", "config": {"Topology": "R(2)_FC(8)_R(8)_SW(4)",
+//	                                   "BandwidthsGBps": [250, 200, 100, 50]}}
+//	  ],
+//	  "workloads": [{"kind": "all_reduce", "size_bytes": 1073741824},
+//	                {"kind": "gpt3"}]
+//	}
 package main
 
 import (
@@ -34,10 +52,20 @@ func main() {
 		size       = flag.Int64("size", 1<<30, "collective size in bytes (collective workloads)")
 		tracePath  = flag.String("trace", "", "run an ASTRA-sim ET JSON file instead of a built-in workload")
 		pytorch    = flag.Bool("pytorch", false, "treat -trace as a PARAM-style PyTorch execution graph")
-		jsonOut    = flag.Bool("json", false, "print the report as JSON")
+		jsonOut    = flag.Bool("json", false, "print the report (or sweep result) as JSON")
 		timeline   = flag.String("timeline", "", "write a Chrome-trace timeline (chrome://tracing) to this file")
+		sweepPath  = flag.String("sweep", "", "run a machine x workload sweep grid from this JSON spec instead of a single simulation")
+		parallel   = flag.Int("parallel", 0, "sweep worker count; 0 = all cores (results identical for any value)")
+		csvOut     = flag.Bool("csv", false, "print the sweep result as CSV")
 	)
 	flag.Parse()
+
+	if *sweepPath != "" {
+		if err := runSweep(*sweepPath, *parallel, *jsonOut, *csvOut); err != nil {
+			fatal(err)
+		}
+		return
+	}
 
 	cfg, err := machineConfig(*configPath, *topo, *bw, *scheduler, *tflops)
 	if err != nil {
@@ -121,35 +149,40 @@ func machineConfig(path, topo, bw, scheduler string, tflops float64) (astrasim.M
 	return cfg, nil
 }
 
-func pickWorkload(name string, size int64, tracePath string, pytorch bool) (astrasim.Workload, error) {
-	if tracePath != "" {
-		f, err := os.Open(tracePath)
-		if err != nil {
-			return nil, err
-		}
-		// The file stays open until the workload generates its trace
-		// inside Run; for a CLI one-shot this is fine.
-		if pytorch {
-			return astrasim.PyTorchTraceJSON(f), nil
-		}
-		return astrasim.TraceJSON(f), nil
+func runSweep(path string, workers int, jsonOut, csvOut bool) error {
+	res, err := astrasim.RunSweepFile(path, astrasim.SweepOptions{
+		Workers:  workers,
+		Progress: astrasim.ProgressLine(os.Stderr),
+	})
+	if err != nil {
+		return err
 	}
-	switch name {
-	case "all_reduce", "all_gather", "reduce_scatter", "all_to_all":
-		return astrasim.Collective(name, size), nil
-	case "gpt3":
-		return astrasim.GPT3(), nil
-	case "t1t":
-		return astrasim.Transformer1T(), nil
-	case "dlrm":
-		return astrasim.DLRM(), nil
-	case "moe":
-		return astrasim.MoE1T(false), nil
-	case "pipeline":
-		return astrasim.Pipeline(4, 8, 1e12, 16<<20, 64<<20), nil
+	switch {
+	case jsonOut:
+		return res.WriteJSON(os.Stdout)
+	case csvOut:
+		return res.WriteCSV(os.Stdout)
 	default:
-		return nil, fmt.Errorf("unknown workload %q", name)
+		return res.WriteTable(os.Stdout)
 	}
+}
+
+// pickWorkload maps the single-run flags onto a declarative WorkloadSpec —
+// the same path sweep grids use.
+func pickWorkload(name string, size int64, tracePath string, pytorch bool) (astrasim.Workload, error) {
+	spec := astrasim.WorkloadSpec{Kind: name, SizeBytes: size}
+	if tracePath != "" {
+		spec = astrasim.WorkloadSpec{Kind: "trace", Path: tracePath}
+		if pytorch {
+			spec.Kind = "pytorch_trace"
+		}
+	} else if name == "pipeline" {
+		spec = astrasim.WorkloadSpec{
+			Kind: "pipeline", Stages: 4, MicroBatches: 8, FlopsPerStage: 1e12,
+			ActivationBytes: 16 << 20, GradBytes: 64 << 20,
+		}
+	}
+	return spec.Workload()
 }
 
 func printReport(m *astrasim.Machine, rep *astrasim.Report) {

@@ -10,42 +10,68 @@
 //	paper -exp taxonomy  topology notation round-trips (Fig. 3 / Table I)
 //	paper -exp all       everything above
 //
+// Every experiment grid runs on the parallel sweep engine; -parallel
+// bounds the workers (results are byte-identical for any count), -json
+// emits machine-readable documents, and -sweep runs a user-defined
+// machine x workload grid instead of a paper artifact:
+//
+//	paper -sweep grid.json -parallel 8 -json
+//
 // Pass -reduced to shrink the workload layer counts 8x (ratios preserved);
 // the full grids take a few minutes.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 
+	"repro"
 	"repro/internal/collective"
 	"repro/internal/experiments"
+	"repro/internal/sweep"
 	"repro/internal/topology"
 	"repro/internal/units"
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run (fig4|speedup|tableiv|fig9a|fig9b|fig11|taxonomy|all)")
+	exp := flag.String("exp", "all", "experiment to run (fig4|speedup|tableiv|fig9a|fig9b|fig11|taxonomy|ablation|pools|all)")
 	reduced := flag.Bool("reduced", false, "shrink workloads for a quick pass")
+	parallel := flag.Int("parallel", 0, "sweep worker count; 0 = all cores (results identical for any value)")
+	jsonOut := flag.Bool("json", false, "emit results as JSON instead of tables")
+	sweepPath := flag.String("sweep", "", "run a user-defined machine x workload sweep grid (JSON spec) instead of a paper experiment")
 	flag.Parse()
 
-	runners := map[string]func(bool) error{
-		"fig4":     func(bool) error { return runFig4() },
-		"speedup":  func(bool) error { return runSpeedup() },
-		"tableiv":  func(bool) error { return runTableIV() },
-		"fig9a":    func(r bool) error { return runFig9a(r) },
-		"fig9b":    func(r bool) error { return runFig9b(r) },
-		"fig11":    func(r bool) error { return runFig11(r) },
-		"taxonomy": func(bool) error { return runTaxonomy() },
-		"ablation": func(bool) error { return runAblation() },
-		"pools":    func(bool) error { return runPoolDesigns() },
+	if *sweepPath != "" {
+		if err := runUserSweep(*sweepPath, *parallel, *jsonOut); err != nil {
+			fatal(err)
+		}
+		return
+	}
+
+	// One cache for the whole invocation: grids that overlap (e.g. the
+	// Fig. 11 baseline inside its own sweep) simulate shared cells once.
+	o := experiments.Options{
+		Reduced: *reduced,
+		Exec:    sweep.Exec{Workers: *parallel, Cache: sweep.NewCache()},
+	}
+	runners := map[string]func(experiments.Options, bool) error{
+		"fig4":     runFig4,
+		"speedup":  runSpeedup,
+		"tableiv":  runTableIV,
+		"fig9a":    runFig9a,
+		"fig9b":    runFig9b,
+		"fig11":    runFig11,
+		"taxonomy": runTaxonomy,
+		"ablation": runAblation,
+		"pools":    runPoolDesigns,
 	}
 	order := []string{"fig4", "speedup", "tableiv", "fig9a", "fig9b", "fig11", "taxonomy", "ablation", "pools"}
 
 	if *exp == "all" {
 		for _, name := range order {
-			if err := runners[name](*reduced); err != nil {
+			if err := runners[name](o, *jsonOut); err != nil {
 				fatal(err)
 			}
 		}
@@ -55,9 +81,23 @@ func main() {
 	if !ok {
 		fatal(fmt.Errorf("unknown experiment %q", *exp))
 	}
-	if err := r(*reduced); err != nil {
+	if err := r(o, *jsonOut); err != nil {
 		fatal(err)
 	}
+}
+
+func runUserSweep(path string, workers int, jsonOut bool) error {
+	res, err := astrasim.RunSweepFile(path, astrasim.SweepOptions{
+		Workers:  workers,
+		Progress: astrasim.ProgressLine(os.Stderr),
+	})
+	if err != nil {
+		return err
+	}
+	if jsonOut {
+		return res.WriteJSON(os.Stdout)
+	}
+	return res.WriteTable(os.Stdout)
 }
 
 func fatal(err error) {
@@ -69,12 +109,22 @@ func header(s string) {
 	fmt.Printf("\n## %s\n\n", s)
 }
 
-func runFig4() error {
-	header("Fig. 4 — analytical backend validation (All-Reduce on NVLink rings)")
-	res, err := experiments.Fig4()
+// emitJSON prints one experiment's result as a JSON document.
+func emitJSON(name string, v any) error {
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	return enc.Encode(map[string]any{"experiment": name, "result": v})
+}
+
+func runFig4(o experiments.Options, jsonOut bool) error {
+	res, err := experiments.Fig4(o)
 	if err != nil {
 		return err
 	}
+	if jsonOut {
+		return emitJSON("fig4", res)
+	}
+	header("Fig. 4 — analytical backend validation (All-Reduce on NVLink rings)")
 	fmt.Printf("%-6s %-10s %14s %14s %10s\n", "NPUs", "Size", "Reference", "Analytical", "Error")
 	for _, r := range res.Rows {
 		fmt.Printf("%-6d %-10s %12.1fus %12.1fus %9.1f%%\n",
@@ -84,12 +134,15 @@ func runFig4() error {
 	return nil
 }
 
-func runSpeedup() error {
-	header("Sec. IV-C — analytical vs cycle-level backend (1 MB All-Reduce)")
-	res, err := experiments.Speedup(units.MB)
+func runSpeedup(o experiments.Options, jsonOut bool) error {
+	res, err := experiments.Speedup(units.MB, o)
 	if err != nil {
 		return err
 	}
+	if jsonOut {
+		return emitJSON("speedup", res)
+	}
+	header("Sec. IV-C — analytical vs cycle-level backend (1 MB All-Reduce)")
 	fmt.Printf("4x4x4 torus:\n")
 	fmt.Printf("  cycle-level:  wall %-14v sim %v (%d cycles)\n", res.CycleWall, res.CycleSimTime, res.CycleCycles)
 	fmt.Printf("  analytical:   wall %-14v sim %v\n", res.AnalyticalWall, res.AnalyticalSimTime)
@@ -100,12 +153,15 @@ func runSpeedup() error {
 	return nil
 }
 
-func runTableIV() error {
-	header("Table IV — 1 GB All-Gather under wafer scaling")
-	res, err := experiments.TableIV()
+func runTableIV(o experiments.Options, jsonOut bool) error {
+	res, err := experiments.TableIV(o)
 	if err != nil {
 		return err
 	}
+	if jsonOut {
+		return emitJSON("tableiv", res)
+	}
+	header("Table IV — 1 GB All-Gather under wafer scaling")
 	fmt.Printf("%-10s %6s %8s %8s %8s %8s %14s\n", "System", "NPUs", "Dim1MB", "Dim2MB", "Dim3MB", "Dim4MB", "Collective")
 	for _, r := range res.Rows {
 		fmt.Printf("%-10s %6d %8.1f %8.1f %8.1f %8.1f %12.2fus\n",
@@ -133,38 +189,47 @@ func printCells(cells []experiments.Cell, withPolicy bool) {
 	}
 }
 
-func runFig9a(reduced bool) error {
-	header("Fig. 9(a) — wafer vs conventional systems, 512 NPUs")
-	if reduced {
-		fmt.Println("(reduced workloads: layer counts / 8; ratios preserved)")
-	}
-	res, err := experiments.Fig9a(experiments.Options{Reduced: reduced})
+func runFig9a(o experiments.Options, jsonOut bool) error {
+	res, err := experiments.Fig9a(o)
 	if err != nil {
 		return err
+	}
+	if jsonOut {
+		return emitJSON("fig9a", res)
+	}
+	header("Fig. 9(a) — wafer vs conventional systems, 512 NPUs")
+	if o.Reduced {
+		fmt.Println("(reduced workloads: layer counts / 8; ratios preserved)")
 	}
 	printCells(res.Cells, true)
 	return nil
 }
 
-func runFig9b(reduced bool) error {
-	header("Fig. 9(b) — conventional scale-out vs wafer scale-up")
-	if reduced {
-		fmt.Println("(reduced workloads: layer counts / 8; ratios preserved)")
-	}
-	res, err := experiments.Fig9b(experiments.Options{Reduced: reduced})
+func runFig9b(o experiments.Options, jsonOut bool) error {
+	res, err := experiments.Fig9b(o)
 	if err != nil {
 		return err
+	}
+	if jsonOut {
+		return emitJSON("fig9b", res)
+	}
+	header("Fig. 9(b) — conventional scale-out vs wafer scale-up")
+	if o.Reduced {
+		fmt.Println("(reduced workloads: layer counts / 8; ratios preserved)")
 	}
 	printCells(res.Cells, false)
 	return nil
 }
 
-func runFig11(reduced bool) error {
-	header("Table V / Fig. 11 — disaggregated memory systems (MoE-1T)")
-	res, err := experiments.Fig11(!reduced)
+func runFig11(o experiments.Options, jsonOut bool) error {
+	res, err := experiments.Fig11(o)
 	if err != nil {
 		return err
 	}
+	if jsonOut {
+		return emitJSON("fig11", res)
+	}
+	header("Table V / Fig. 11 — disaggregated memory systems (MoE-1T)")
 	fmt.Printf("%-20s %10s %12s %12s %12s %10s %10s\n",
 		"System", "Compute", "Exp.Comm", "Exp.Remote", "Exp.Local", "Idle", "Total")
 	for _, b := range res.Bars {
@@ -183,8 +248,7 @@ func runFig11(reduced bool) error {
 	return nil
 }
 
-func runTaxonomy() error {
-	header("Fig. 3 / Table I — topology taxonomy")
+func runTaxonomy(o experiments.Options, jsonOut bool) error {
 	examples := []struct{ spec, system string }{
 		{"R(4)_R(2)", "Google TPUv2/v3"},
 		{"SW(3)_SW(2)", "NVIDIA DGX-2 / DGX-A100"},
@@ -193,6 +257,23 @@ func runTaxonomy() error {
 		{"FC(4)_FC(2)_FC(2)", "DragonFly (fully populated)"},
 		{"R(4)_R(2)_R(2)", "Google TPUv4 (3D torus)"},
 	}
+	if jsonOut {
+		type row struct {
+			Notation string `json:"notation"`
+			NPUs     int    `json:"npus"`
+			Platform string `json:"platform"`
+		}
+		var rows []row
+		for _, e := range examples {
+			top, err := topology.Parse(e.spec)
+			if err != nil {
+				return err
+			}
+			rows = append(rows, row{Notation: top.String(), NPUs: top.NumNPUs(), Platform: e.system})
+		}
+		return emitJSON("taxonomy", rows)
+	}
+	header("Fig. 3 / Table I — topology taxonomy")
 	fmt.Printf("%-20s %6s %-28s %s\n", "Notation", "NPUs", "Platform", "Per-dim collectives (Table I)")
 	for _, e := range examples {
 		top, err := topology.Parse(e.spec)
@@ -221,12 +302,15 @@ func runTaxonomy() error {
 	return nil
 }
 
-func runAblation() error {
-	header("Ablation — chunk pipelining depth x scheduler (1 GB All-Reduce)")
-	res, err := experiments.Ablation()
+func runAblation(o experiments.Options, jsonOut bool) error {
+	res, err := experiments.Ablation(o)
 	if err != nil {
 		return err
 	}
+	if jsonOut {
+		return emitJSON("ablation", res)
+	}
+	header("Ablation — chunk pipelining depth x scheduler (1 GB All-Reduce)")
 	fmt.Printf("%-10s %7s %-9s %14s %10s\n", "System", "Chunks", "Scheduler", "Collective", "Events")
 	for _, r := range res.Rows {
 		fmt.Printf("%-10s %7d %-9s %12.2fus %10d\n",
@@ -238,12 +322,15 @@ func runAblation() error {
 	return nil
 }
 
-func runPoolDesigns() error {
-	header("Extension — Fig. 5 pool architectures under one bulk transfer")
-	res, err := experiments.PoolDesigns()
+func runPoolDesigns(o experiments.Options, jsonOut bool) error {
+	res, err := experiments.PoolDesigns(o)
 	if err != nil {
 		return err
 	}
+	if jsonOut {
+		return emitJSON("pools", res)
+	}
+	header("Extension — Fig. 5 pool architectures under one bulk transfer")
 	fmt.Printf("%-28s %12s %14s\n", "Design", "Per-GPU", "Transfer")
 	for _, r := range res.Rows {
 		fmt.Printf("%-28s %12s %12.2fms\n", r.Design, r.PerGPU, r.Transfer.Seconds()*1e3)

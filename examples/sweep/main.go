@@ -1,0 +1,57 @@
+// Example sweep: a declarative design-space exploration — three network
+// bandwidth provisions of the paper's Conv-4D shape against a wafer-style
+// switch, each running two collectives and a GPT-3 iteration, executed in
+// parallel with deterministic output.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"repro"
+)
+
+func main() {
+	conv := func(name string, scale float64) astrasim.SweepMachine {
+		return astrasim.SweepMachine{
+			Name: name,
+			Config: astrasim.MachineConfig{
+				Topology: "R(2)_FC(8)_R(8)_SW(4)",
+				BandwidthsGBps: []float64{
+					250 * scale, 200 * scale, 100 * scale, 50 * scale,
+				},
+			},
+		}
+	}
+	spec := astrasim.SweepSpec{
+		Name: "bandwidth-scan",
+		Machines: []astrasim.SweepMachine{
+			conv("conv-4d-0.5x", 0.5),
+			conv("conv-4d-1x", 1),
+			conv("conv-4d-2x", 2),
+			{Name: "wafer-600", Config: astrasim.MachineConfig{
+				Topology: "SW(512)", BandwidthsGBps: []float64{600},
+			}},
+		},
+		Workloads: []astrasim.WorkloadSpec{
+			{Kind: "all_reduce", SizeBytes: 1 << 30},
+			{Kind: "all_to_all", SizeBytes: 1 << 28},
+			{Kind: "gpt3"},
+		},
+	}
+	res, err := astrasim.RunSweep(spec, astrasim.SweepOptions{
+		Progress: func(done, total int) {
+			fmt.Fprintf(os.Stderr, "\r%d/%d", done, total)
+			if done == total {
+				fmt.Fprintln(os.Stderr)
+			}
+		},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := res.WriteTable(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+}

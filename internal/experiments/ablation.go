@@ -2,8 +2,7 @@ package experiments
 
 import (
 	"repro/internal/collective"
-	"repro/internal/network"
-	"repro/internal/timeline"
+	"repro/internal/sweep"
 	"repro/internal/units"
 )
 
@@ -40,40 +39,48 @@ func (r *AblationResult) Row(system string, chunks int, policy collective.Policy
 
 // Ablation sweeps chunk counts {1, 4, 16, 64, 256} and both schedulers
 // over the W-2D-500 and Conv-4D systems.
-func Ablation() (*AblationResult, error) {
-	out := &AblationResult{}
-	systems := TableII()
+func Ablation(o Options) (*AblationResult, error) {
+	const size = 1024 * units.MB
+	all := TableII()
+	var systems []System
 	for _, name := range []string{"W-2D-500", "Conv-4D"} {
-		sys, err := FindSystem(systems, name)
+		sys, err := FindSystem(all, name)
 		if err != nil {
 			return nil, err
 		}
-		for _, chunks := range []int{1, 4, 16, 64, 256} {
-			for _, policy := range []collective.Policy{collective.Baseline, collective.Themis} {
-				eng := timeline.New()
-				net := network.NewBackend(eng, sys.Top)
-				ce := collective.NewEngine(net,
-					collective.WithChunks(chunks),
-					collective.WithPolicy(policy))
-				var res collective.Result
-				err := ce.Start(collective.AllReduce, 1024*units.MB,
-					collective.FullMachine(sys.Top),
-					func(r collective.Result) { res = r })
-				if err != nil {
-					return nil, err
-				}
-				if _, err := eng.Run(); err != nil {
-					return nil, err
-				}
-				out.Rows = append(out.Rows, AblationRow{
-					System:    name,
-					Chunks:    chunks,
-					Policy:    policy,
-					Duration:  res.Duration(),
-					SimEvents: eng.Fired(),
-				})
-			}
-		}
+		systems = append(systems, sys)
 	}
-	return out, nil
+	chunkGrid := []int{1, 4, 16, 64, 256}
+	policies := []collective.Policy{collective.Baseline, collective.Themis}
+	spec := sweep.Spec[AblationRow]{
+		Name: "ablation",
+		Axes: []sweep.Axis{systemAxis(systems), intAxis("chunks", chunkGrid), policyAxis(policies)},
+		Cell: func(pt sweep.Point) (AblationRow, error) {
+			sys := systems[pt.Index("system")]
+			chunks := chunkGrid[pt.Index("chunks")]
+			policy := policies[pt.Index("policy")]
+			res, fired, err := runEngine(sys.Top, collective.AllReduce, size, chunks, policy)
+			if err != nil {
+				return AblationRow{}, err
+			}
+			return AblationRow{
+				System:    sys.Name,
+				Chunks:    chunks,
+				Policy:    policy,
+				Duration:  res.Duration(),
+				SimEvents: fired,
+			}, nil
+		},
+		Fingerprint: func(pt sweep.Point) string {
+			// The row embeds the system name, so the name is part of the key.
+			sys := systems[pt.Index("system")]
+			return "ablation|sys=" + sys.Name + "|" + engineFingerprint(sys.Top, collective.AllReduce, size,
+				chunkGrid[pt.Index("chunks")], policies[pt.Index("policy")])
+		},
+	}
+	res, err := sweep.Run(spec, o.Exec)
+	if err != nil {
+		return nil, err
+	}
+	return &AblationResult{Rows: res.Values()}, nil
 }

@@ -7,7 +7,7 @@ import (
 )
 
 func TestAblationShape(t *testing.T) {
-	res, err := Ablation()
+	res, err := Ablation(Options{})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -38,7 +38,7 @@ func TestTableIISystems(t *testing.T) {
 // --- E1: Fig. 4 ---
 
 func TestFig4ValidationError(t *testing.T) {
-	res, err := Fig4()
+	res, err := Fig4(Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -83,7 +83,7 @@ func TestSpeedupAnalyticalVsCycle(t *testing.T) {
 	if testing.Short() {
 		t.Skip("cycle-level simulation is slow by design")
 	}
-	res, err := Speedup(units.MB)
+	res, err := Speedup(units.MB, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -105,7 +105,7 @@ func TestSpeedupAnalyticalVsCycle(t *testing.T) {
 // --- E3: Table IV ---
 
 func TestTableIVShape(t *testing.T) {
-	res, err := TableIV()
+	res, err := TableIV(Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -166,6 +166,9 @@ func TestTableIVShape(t *testing.T) {
 // --- E4: Fig. 9(a) ---
 
 func TestFig9aClaims(t *testing.T) {
+	if testing.Short() {
+		t.Skip("48-cell case-study grid simulates reduced GPT-3/T1T iterations")
+	}
 	res, err := Fig9a(Options{Reduced: true})
 	if err != nil {
 		t.Fatal(err)
@@ -232,6 +235,9 @@ func TestFig9aClaims(t *testing.T) {
 // --- E5: Fig. 9(b) ---
 
 func TestFig9bScalingTrend(t *testing.T) {
+	if testing.Short() {
+		t.Skip("28-cell scaling grid reaches 4096-NPU systems")
+	}
 	res, err := Fig9b(Options{Reduced: true})
 	if err != nil {
 		t.Fatal(err)
@@ -265,7 +271,10 @@ func TestFig9bScalingTrend(t *testing.T) {
 // --- E6/E7: Fig. 11 + sweep ---
 
 func TestFig11Claims(t *testing.T) {
-	res, err := Fig11(false)
+	if testing.Short() {
+		t.Skip("eight MoE-1T iterations on 256 GPUs")
+	}
+	res, err := Fig11(Options{Reduced: true})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -8,6 +8,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/etgen"
 	"repro/internal/memory"
+	"repro/internal/sweep"
 	"repro/internal/topology"
 	"repro/internal/units"
 )
@@ -181,65 +182,114 @@ func statsToBar(sys Fig11System, stats *core.RunStats, pool memory.PoolConfig) F
 	}
 }
 
+// fig11Cell is one simulated system: its pool configuration and run stats.
+type fig11Cell struct {
+	pool  memory.PoolConfig
+	stats *core.RunStats
+}
+
+// fig11Fingerprint identifies a MoE-1T run: the in-switch flag plus the
+// full pool configuration (the GPU topology, compute model and workload
+// are fixed across the study).
+func fig11Fingerprint(inSwitch bool, pool memory.PoolConfig) string {
+	return fmt.Sprintf("moe1t|inswitch=%t|%s", inSwitch, poolFingerprint(pool))
+}
+
 // Fig11 runs the three-bar comparison and the design-space sweep. With
-// fullSweep false only the sweep's corner points run (for tests); the full
-// grid is 8 x 5 points.
-func Fig11(fullSweep bool) (*Fig11Result, error) {
+// Reduced set only the sweep's corner points run (for tests); the full
+// grid is 8 x 5 points. The HierMem baseline bar and the sweep's
+// (256, 100) corner are the same configuration; the shared result cache
+// simulates it once.
+func Fig11(o Options) (*Fig11Result, error) {
+	exec := o.Exec
+	if exec.Cache == nil {
+		// The bar grid and the sweep grid overlap; share results.
+		exec.Cache = sweep.NewCache()
+	}
 	out := &Fig11Result{}
 
-	zeroStats, err := runFig11System(false, fig11ZeroPool())
-	if err != nil {
-		return nil, fmt.Errorf("fig11: ZeRO-Infinity: %w", err)
+	// Grid 1: the two reference bars.
+	barSystems := []string{string(SysZeroInfinity), string(SysHierMemBaseline)}
+	barSpec := sweep.Spec[fig11Cell]{
+		Name: "fig11-bars",
+		Axes: []sweep.Axis{{Name: "system", Values: barSystems}},
+		Cell: func(pt sweep.Point) (fig11Cell, error) {
+			inSwitch := pt.Index("system") == 1
+			pool := fig11ZeroPool()
+			if inSwitch {
+				pool = fig11Pool(256, 100)
+			}
+			stats, err := runFig11System(inSwitch, pool)
+			if err != nil {
+				return fig11Cell{}, err
+			}
+			return fig11Cell{pool: pool, stats: stats}, nil
+		},
+		Fingerprint: func(pt sweep.Point) string {
+			if pt.Index("system") == 0 {
+				return fig11Fingerprint(false, fig11ZeroPool())
+			}
+			return fig11Fingerprint(true, fig11Pool(256, 100))
+		},
 	}
-	out.Bars = append(out.Bars, statsToBar(SysZeroInfinity, zeroStats, fig11ZeroPool()))
-
-	basePool := fig11Pool(256, 100)
-	baseStats, err := runFig11System(true, basePool)
+	bars, err := sweep.Run(barSpec, exec)
 	if err != nil {
-		return nil, fmt.Errorf("fig11: HierMem baseline: %w", err)
+		return nil, err
 	}
-	out.Bars = append(out.Bars, statsToBar(SysHierMemBaseline, baseStats, basePool))
+	zero, base := bars.Rows[0].Value, bars.Rows[1].Value
+	out.Bars = append(out.Bars,
+		statsToBar(SysZeroInfinity, zero.stats, zero.pool),
+		statsToBar(SysHierMemBaseline, base.stats, base.pool))
 
-	// Design-space sweep (Section V-B): in-node fabric 256..2048 step 256,
-	// remote group 100..500 step 100.
+	// Grid 2: the design-space sweep (Section V-B): in-node fabric
+	// 256..2048 step 256, remote group 100..500 step 100.
 	inNodeGrid := []float64{256, 512, 768, 1024, 1280, 1536, 1792, 2048}
 	remoteGrid := []float64{100, 200, 300, 400, 500}
-	if !fullSweep {
+	if o.Reduced {
 		inNodeGrid = []float64{256, 512, 2048}
 		remoteGrid = []float64{100, 500}
 	}
-	type winner struct {
-		pool  memory.PoolConfig
-		stats *core.RunStats
-	}
-	var best *winner
-	for _, in := range inNodeGrid {
-		for _, rem := range remoteGrid {
-			pool := fig11Pool(in, rem)
+	sweepSpec := sweep.Spec[fig11Cell]{
+		Name: "fig11-sweep",
+		Axes: []sweep.Axis{floatAxis("in_node_gbps", inNodeGrid), floatAxis("remote_gbps", remoteGrid)},
+		Cell: func(pt sweep.Point) (fig11Cell, error) {
+			pool := fig11Pool(inNodeGrid[pt.Index("in_node_gbps")], remoteGrid[pt.Index("remote_gbps")])
 			stats, err := runFig11System(true, pool)
 			if err != nil {
-				return nil, fmt.Errorf("fig11: sweep %v/%v: %w", in, rem, err)
+				return fig11Cell{}, err
 			}
-			out.Sweep = append(out.Sweep, SweepPoint{
-				InNodeFabricGBps: in,
-				RemoteGroupGBps:  rem,
-				Total:            stats.Makespan,
-			})
-			// Best performance with least resource provision: strictly
-			// faster wins; equal performance prefers fewer resources.
-			if best == nil || stats.Makespan < best.stats.Makespan {
-				best = &winner{pool: pool, stats: stats}
-			}
+			return fig11Cell{pool: pool, stats: stats}, nil
+		},
+		Fingerprint: func(pt sweep.Point) string {
+			pool := fig11Pool(inNodeGrid[pt.Index("in_node_gbps")], remoteGrid[pt.Index("remote_gbps")])
+			return fig11Fingerprint(true, pool)
+		},
+	}
+	grid, err := sweep.Run(sweepSpec, exec)
+	if err != nil {
+		return nil, err
+	}
+	// Best performance with least resource provision: strictly faster
+	// wins; equal performance prefers the earlier (cheaper) grid point.
+	var best fig11Cell
+	for _, row := range grid.Rows {
+		c := row.Value
+		out.Sweep = append(out.Sweep, SweepPoint{
+			InNodeFabricGBps: c.pool.InNodeFabricBW.GBpsValue(),
+			RemoteGroupGBps:  c.pool.RemoteGroupBW.GBpsValue(),
+			Total:            c.stats.Makespan,
+		})
+		if best.stats == nil || c.stats.Makespan < best.stats.Makespan {
+			best = c
 		}
 	}
 	out.Bars = append(out.Bars, statsToBar(SysHierMemOpt, best.stats, best.pool))
 
-	base := baseStats.Makespan
-	out.SpeedupOptVsBaseline = float64(base) / float64(best.stats.Makespan)
-	diff := zeroStats.Makespan - base
+	out.SpeedupOptVsBaseline = float64(base.stats.Makespan) / float64(best.stats.Makespan)
+	diff := zero.stats.Makespan - base.stats.Makespan
 	if diff < 0 {
 		diff = -diff
 	}
-	out.ZeroVsBaselinePct = 100 * float64(diff) / float64(base)
+	out.ZeroVsBaselinePct = 100 * float64(diff) / float64(base.stats.Makespan)
 	return out, nil
 }

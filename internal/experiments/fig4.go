@@ -1,12 +1,10 @@
 package experiments
 
 import (
-	"fmt"
 	"math"
 
 	"repro/internal/collective"
-	"repro/internal/network"
-	"repro/internal/timeline"
+	"repro/internal/sweep"
 	"repro/internal/topology"
 	"repro/internal/units"
 )
@@ -61,53 +59,71 @@ func referenceAllReduce(size units.ByteSize, k int) units.Time {
 	return units.FromSeconds(bytes/bw) + units.Time(steps)*ncclStepOverhead
 }
 
-// analyticalAllReduce runs the simulator's collective engine on a ring of
-// k NPUs. The dimension bandwidth is the NPU's total shared capacity, so
-// the per-direction 150 GB/s NVLink becomes 300 GB/s.
-func analyticalAllReduce(size units.ByteSize, k int) (units.Time, error) {
-	top, err := topology.New(topology.Dim{
+// nvlinkRing builds the analytical twin of a k-GPU NVLink ring. The
+// dimension bandwidth is the NPU's total shared capacity, so the
+// per-direction 150 GB/s NVLink becomes 300 GB/s.
+func nvlinkRing(k int) (*topology.Topology, error) {
+	return topology.New(topology.Dim{
 		Kind:      topology.Ring,
 		Size:      k,
 		Bandwidth: units.GBps(2 * nvlinkPerDirection),
 		Latency:   0,
 	})
+}
+
+// analyticalAllReduce runs the simulator's collective engine on a ring of
+// k NPUs.
+func analyticalAllReduce(size units.ByteSize, k int) (units.Time, error) {
+	top, err := nvlinkRing(k)
 	if err != nil {
 		return 0, err
 	}
-	eng := timeline.New()
-	net := network.NewBackend(eng, top)
-	ce := collective.NewEngine(net, collective.WithChunks(64))
-	var res collective.Result
-	if err := ce.Start(collective.AllReduce, size, collective.FullMachine(top), func(r collective.Result) { res = r }); err != nil {
-		return 0, err
-	}
-	if _, err := eng.Run(); err != nil {
+	res, _, err := runEngine(top, collective.AllReduce, size, 64, collective.Baseline)
+	if err != nil {
 		return 0, err
 	}
 	return res.Duration(), nil
 }
 
 // Fig4 runs the validation sweep: the paper's six sizes on 4 and 16 NPUs.
-func Fig4() (*Fig4Result, error) {
+func Fig4(o Options) (*Fig4Result, error) {
+	ks := []int{4, 16}
 	sizes := []units.ByteSize{
 		64 * units.MB, 96 * units.MB, 128 * units.MB, 192 * units.MB,
 		750 * units.MB, 1500 * units.MB,
 	}
-	out := &Fig4Result{}
-	var absSum float64
-	for _, k := range []int{4, 16} {
-		for _, s := range sizes {
+	spec := sweep.Spec[Fig4Row]{
+		Name: "fig4",
+		Axes: []sweep.Axis{intAxis("npus", ks), sizeAxis("size", sizes)},
+		Cell: func(pt sweep.Point) (Fig4Row, error) {
+			k, s := ks[pt.Index("npus")], sizes[pt.Index("size")]
 			ref := referenceAllReduce(s, k)
 			ana, err := analyticalAllReduce(s, k)
 			if err != nil {
-				return nil, fmt.Errorf("fig4: %v on %d NPUs: %w", s, k, err)
+				return Fig4Row{}, err
 			}
 			errPct := 100 * (ana.Seconds() - ref.Seconds()) / ref.Seconds()
-			out.Rows = append(out.Rows, Fig4Row{
-				NPUs: k, Size: s, Reference: ref, Analytical: ana, ErrorPct: errPct,
-			})
-			absSum += math.Abs(errPct)
-		}
+			return Fig4Row{NPUs: k, Size: s, Reference: ref, Analytical: ana, ErrorPct: errPct}, nil
+		},
+		Fingerprint: func(pt sweep.Point) string {
+			top, err := nvlinkRing(ks[pt.Index("npus")])
+			if err != nil {
+				return ""
+			}
+			// The reference model is a pure function of (k, size), so the
+			// engine fingerprint identifies the whole row; the prefix keeps
+			// fig4 rows from sharing with bare engine results.
+			return "fig4|" + engineFingerprint(top, collective.AllReduce, sizes[pt.Index("size")], 64, collective.Baseline)
+		},
+	}
+	res, err := sweep.Run(spec, o.Exec)
+	if err != nil {
+		return nil, err
+	}
+	out := &Fig4Result{Rows: res.Values()}
+	var absSum float64
+	for _, r := range out.Rows {
+		absSum += math.Abs(r.ErrorPct)
 	}
 	out.MeanAbsErrorPct = absSum / float64(len(out.Rows))
 	return out, nil

@@ -8,6 +8,7 @@ import (
 	"repro/internal/et"
 	"repro/internal/etgen"
 	"repro/internal/memory"
+	"repro/internal/sweep"
 	"repro/internal/topology"
 	"repro/internal/units"
 )
@@ -81,11 +82,16 @@ func (r *Fig9bResult) Cell(system string, wl Workload, policy collective.Policy)
 	return findCell(r.Cells, system, wl, policy)
 }
 
-// Options scales the study for test runs: Reduced shrinks layer counts by
-// 8x (preserving per-layer structure and therefore all ratios) and lowers
-// the collective chunk count.
+// Options configures an experiment run.
 type Options struct {
+	// Reduced shrinks layer counts by 8x (preserving per-layer structure
+	// and therefore all ratios) for test runs, and limits Fig. 11's
+	// design-space sweep to its corner points.
 	Reduced bool
+	// Exec controls sweep execution: worker count (default GOMAXPROCS),
+	// an optional cross-experiment result cache, and progress callbacks.
+	// Results are deterministic for any worker count.
+	Exec sweep.Exec
 }
 
 func (o Options) layersDivisor() int {
@@ -122,6 +128,16 @@ func buildWorkloadTrace(top *topology.Topology, wl Workload, o Options) (*et.Tra
 	}
 }
 
+// cellFingerprint identifies a full-simulator case-study run: topology,
+// workload (with its reduction divisor), scheduler, chunking, and the
+// fixed compute/memory models. The system name is part of the key
+// because the deduplicated Cell embeds it: two identically-configured
+// systems under different names must not share a mislabeled result.
+func cellFingerprint(sys System, wl Workload, policy collective.Policy, o Options) string {
+	return fmt.Sprintf("sim|sys=%s|wl=%s|div=%d|policy=%s|chunks=%d|npu=a100|mem=local-1us-2039|topo=%s",
+		sys.Name, wl, o.layersDivisor(), policy, o.chunks(), topoFingerprint(sys.Top))
+}
+
 // runCell executes one (system, workload, policy) simulation.
 func runCell(sys System, wl Workload, policy collective.Policy, o Options) (Cell, error) {
 	trace, err := buildWorkloadTrace(sys.Top, wl, o)
@@ -156,35 +172,42 @@ func runCell(sys System, wl Workload, policy collective.Policy, o Options) (Cell
 	}, nil
 }
 
+// caseStudySpec declares a (system x workload x policy) grid over runCell.
+func caseStudySpec(name string, systems []System, policies []collective.Policy, o Options) sweep.Spec[Cell] {
+	wls := Workloads()
+	return sweep.Spec[Cell]{
+		Name: name,
+		Axes: []sweep.Axis{systemAxis(systems), workloadAxis(), policyAxis(policies)},
+		Cell: func(pt sweep.Point) (Cell, error) {
+			return runCell(systems[pt.Index("system")], wls[pt.Index("workload")],
+				policies[pt.Index("policy")], o)
+		},
+		Fingerprint: func(pt sweep.Point) string {
+			return cellFingerprint(systems[pt.Index("system")], wls[pt.Index("workload")],
+				policies[pt.Index("policy")], o)
+		},
+	}
+}
+
 // Fig9a runs the full 6-system x 4-workload x 2-policy grid.
 func Fig9a(o Options) (*Fig9aResult, error) {
-	out := &Fig9aResult{}
-	for _, sys := range TableII() {
-		for _, wl := range Workloads() {
-			for _, policy := range []collective.Policy{collective.Baseline, collective.Themis} {
-				cell, err := runCell(sys, wl, policy, o)
-				if err != nil {
-					return nil, err
-				}
-				out.Cells = append(out.Cells, cell)
-			}
-		}
+	spec := caseStudySpec("fig9a", TableII(),
+		[]collective.Policy{collective.Baseline, collective.Themis}, o)
+	res, err := sweep.Run(spec, o.Exec)
+	if err != nil {
+		return nil, err
 	}
-	return out, nil
+	return &Fig9aResult{Cells: res.Values()}, nil
 }
 
 // Fig9b runs the 7-system x 4-workload scaling grid with the baseline
 // scheduler (the configuration of the paper's Fig. 9(b)).
 func Fig9b(o Options) (*Fig9bResult, error) {
-	out := &Fig9bResult{}
-	for _, sys := range ScalingSystems() {
-		for _, wl := range Workloads() {
-			cell, err := runCell(sys, wl, collective.Baseline, o)
-			if err != nil {
-				return nil, err
-			}
-			out.Cells = append(out.Cells, cell)
-		}
+	spec := caseStudySpec("fig9b", ScalingSystems(),
+		[]collective.Policy{collective.Baseline}, o)
+	res, err := sweep.Run(spec, o.Exec)
+	if err != nil {
+		return nil, err
 	}
-	return out, nil
+	return &Fig9bResult{Cells: res.Values()}, nil
 }

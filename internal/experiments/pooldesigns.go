@@ -1,7 +1,10 @@
 package experiments
 
 import (
+	"fmt"
+
 	"repro/internal/memory"
+	"repro/internal/sweep"
 	"repro/internal/units"
 )
 
@@ -37,7 +40,7 @@ func (r *PoolDesignResult) Row(d memory.PoolDesign, perGPU units.ByteSize) (Pool
 // PoolDesigns compares the four architectures (plus the ZeRO-Infinity
 // private-path baseline) on the Fig. 6 machine: 256 GPUs, 256 remote
 // memory groups, Table V's baseline bandwidths.
-func PoolDesigns() (*PoolDesignResult, error) {
+func PoolDesigns(o Options) (*PoolDesignResult, error) {
 	base := memory.PoolConfig{
 		NumNodes:           16,
 		GPUsPerNode:        16,
@@ -55,21 +58,39 @@ func PoolDesigns() (*PoolDesignResult, error) {
 		memory.MeshPool,
 		memory.PrivatePerGPU,
 	}
+	designNames := make([]string, len(designs))
+	for i, d := range designs {
+		designNames[i] = d.String()
+	}
 	sizes := []units.ByteSize{32 * units.MB, 325 * units.MB, 1000 * units.MB}
-	out := &PoolDesignResult{}
-	for _, d := range designs {
-		cfg := base
-		cfg.Design = d
-		if err := cfg.Validate(); err != nil {
-			return nil, err
-		}
-		for _, s := range sizes {
-			out.Rows = append(out.Rows, PoolDesignRow{
-				Design:   d,
+	spec := sweep.Spec[PoolDesignRow]{
+		Name: "pooldesigns",
+		Axes: []sweep.Axis{
+			{Name: "design", Values: designNames},
+			sizeAxis("per_gpu", sizes),
+		},
+		Cell: func(pt sweep.Point) (PoolDesignRow, error) {
+			cfg := base
+			cfg.Design = designs[pt.Index("design")]
+			if err := cfg.Validate(); err != nil {
+				return PoolDesignRow{}, err
+			}
+			s := sizes[pt.Index("per_gpu")]
+			return PoolDesignRow{
+				Design:   cfg.Design,
 				PerGPU:   s,
 				Transfer: cfg.TransferTime(s),
-			})
-		}
+			}, nil
+		},
+		Fingerprint: func(pt sweep.Point) string {
+			cfg := base
+			cfg.Design = designs[pt.Index("design")]
+			return fmt.Sprintf("pooltransfer|size=%d|%s", sizes[pt.Index("per_gpu")], poolFingerprint(cfg))
+		},
 	}
-	return out, nil
+	res, err := sweep.Run(spec, o.Exec)
+	if err != nil {
+		return nil, err
+	}
+	return &PoolDesignResult{Rows: res.Values()}, nil
 }

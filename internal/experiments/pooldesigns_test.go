@@ -8,7 +8,7 @@ import (
 )
 
 func TestPoolDesignsComparison(t *testing.T) {
-	res, err := PoolDesigns()
+	res, err := PoolDesigns(Options{})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -6,8 +6,7 @@ import (
 
 	"repro/internal/collective"
 	"repro/internal/garnet"
-	"repro/internal/network"
-	"repro/internal/timeline"
+	"repro/internal/sweep"
 	"repro/internal/topology"
 	"repro/internal/units"
 )
@@ -64,50 +63,78 @@ func analyticalTorusAllReduce(shape []int, size units.ByteSize) (units.Time, tim
 		return 0, 0, err
 	}
 	start := time.Now()
-	eng := timeline.New()
-	net := network.NewBackend(eng, top)
 	// A single chunk mirrors the cycle driver's bulk-synchronous step
 	// barriers, so the two backends simulate the same schedule and their
 	// simulated times are directly comparable.
-	ce := collective.NewEngine(net, collective.WithChunks(1))
-	var res collective.Result
-	if err := ce.Start(collective.AllReduce, size, collective.FullMachine(top), func(r collective.Result) { res = r }); err != nil {
-		return 0, 0, err
-	}
-	if _, err := eng.Run(); err != nil {
+	res, _, err := runEngine(top, collective.AllReduce, size, 1, collective.Baseline)
+	if err != nil {
 		return 0, 0, err
 	}
 	return res.Duration(), time.Since(start), nil
 }
 
+// speedupRun is one backend measurement: simulated time plus the
+// wall-clock it took to produce it.
+type speedupRun struct {
+	Wall   time.Duration
+	Sim    units.Time
+	Cycles uint64
+}
+
 // Speedup runs the comparison. size is typically 1 MB (the paper's
-// setting); tests may shrink it to bound runtime.
-func Speedup(size units.ByteSize) (*SpeedupResult, error) {
+// setting); tests may shrink it to bound runtime. The cells measure their
+// own wall-clock, so they carry no fingerprints: a wall-clock study must
+// never be served from cache.
+func Speedup(size units.ByteSize, o Options) (*SpeedupResult, error) {
 	out := &SpeedupResult{
 		Size:       size,
 		SmallShape: []int{4, 4, 4},
 		LargeShape: []int{16, 16, 16},
 	}
-
-	// Cycle-level backend on the small torus.
-	start := time.Now()
-	g, err := garnet.New(garnet.Config{Shape: out.SmallShape, FlitBytes: 16, LinkLatency: 1, ClockGHz: 1})
+	runs := []string{"cycle-4x4x4", "analytical-4x4x4", "analytical-16x16x16"}
+	spec := sweep.Spec[speedupRun]{
+		Name: "speedup",
+		Axes: []sweep.Axis{{Name: "run", Values: runs}},
+		Cell: func(pt sweep.Point) (speedupRun, error) {
+			switch pt.Value("run") {
+			case "cycle-4x4x4":
+				start := time.Now()
+				g, err := garnet.New(garnet.Config{Shape: out.SmallShape, FlitBytes: 16, LinkLatency: 1, ClockGHz: 1})
+				if err != nil {
+					return speedupRun{}, err
+				}
+				simTime, cycles, err := g.AllReduce(size)
+				if err != nil {
+					return speedupRun{}, fmt.Errorf("cycle backend: %w", err)
+				}
+				return speedupRun{Wall: time.Since(start), Sim: simTime, Cycles: cycles}, nil
+			case "analytical-4x4x4":
+				sim, wall, err := analyticalTorusAllReduce(out.SmallShape, size)
+				return speedupRun{Wall: wall, Sim: sim}, err
+			default:
+				sim, wall, err := analyticalTorusAllReduce(out.LargeShape, size)
+				return speedupRun{Wall: wall, Sim: sim}, err
+			}
+		},
+	}
+	// Wall-clock cells must not contend for cores with each other: pin
+	// the study to one worker regardless of the caller's Exec, or the
+	// cycle-level run would deschedule the analytical timing and distort
+	// the headline speedup.
+	exec := o.Exec
+	exec.Workers = 1
+	res, err := sweep.Run(spec, exec)
 	if err != nil {
 		return nil, err
 	}
-	simTime, cycles, err := g.AllReduce(size)
-	if err != nil {
-		return nil, fmt.Errorf("speedup: cycle backend: %w", err)
-	}
-	out.CycleWall = time.Since(start)
-	out.CycleSimTime = simTime
-	out.CycleCycles = cycles
+	rows := res.Values()
+	cycle, small, large := rows[0], rows[1], rows[2]
 
-	// Analytical backend on the small torus.
-	out.AnalyticalSimTime, out.AnalyticalWall, err = analyticalTorusAllReduce(out.SmallShape, size)
-	if err != nil {
-		return nil, err
-	}
+	out.CycleWall = cycle.Wall
+	out.CycleSimTime = cycle.Sim
+	out.CycleCycles = cycle.Cycles
+	out.AnalyticalSimTime = small.Sim
+	out.AnalyticalWall = small.Wall
 	if out.AnalyticalWall > 0 {
 		out.SpeedupSmall = float64(out.CycleWall) / float64(out.AnalyticalWall)
 	}
@@ -118,11 +145,7 @@ func Speedup(size units.ByteSize) (*SpeedupResult, error) {
 		}
 		out.SimTimeAgreementPct = 100 * float64(diff) / float64(out.CycleSimTime)
 	}
-
-	// Analytical backend at a scale the cycle backend cannot reach.
-	out.AnalyticalSimLarge, out.AnalyticalWallLarge, err = analyticalTorusAllReduce(out.LargeShape, size)
-	if err != nil {
-		return nil, err
-	}
+	out.AnalyticalSimLarge = large.Sim
+	out.AnalyticalWallLarge = large.Wall
 	return out, nil
 }

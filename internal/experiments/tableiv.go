@@ -4,8 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/collective"
-	"repro/internal/network"
-	"repro/internal/timeline"
+	"repro/internal/sweep"
 	"repro/internal/units"
 )
 
@@ -46,39 +45,37 @@ func (t *TableIVResult) Row(system string) (TableIVRow, error) {
 }
 
 // TableIV regenerates the table.
-func TableIV() (*TableIVResult, error) {
+func TableIV(o Options) (*TableIVResult, error) {
 	const size = units.ByteSize(1024 * units.MB) // the paper's 1 GB
-	order := []string{
-		"Base-512", "Conv-1024", "Conv-2048", "Conv-4096",
-		"W-1024", "W-2048", "W-4096",
-	}
 	systems := ScalingSystems()
-	out := &TableIVResult{Size: size}
-	for _, name := range order {
-		sys, err := FindSystem(systems, name)
-		if err != nil {
-			return nil, err
-		}
-		eng := timeline.New()
-		net := network.NewBackend(eng, sys.Top)
-		ce := collective.NewEngine(net, collective.WithChunks(64))
-		var res collective.Result
-		err = ce.Start(collective.AllGather, size, collective.FullMachine(sys.Top), func(r collective.Result) { res = r })
-		if err != nil {
-			return nil, fmt.Errorf("tableiv: %s: %w", name, err)
-		}
-		if _, err := eng.Run(); err != nil {
-			return nil, fmt.Errorf("tableiv: %s: %w", name, err)
-		}
-		row := TableIVRow{
-			System:         name,
-			NPUs:           sys.Top.NumNPUs(),
-			CollectiveTime: res.Duration(),
-		}
-		for d := 0; d < 4; d++ {
-			row.TrafficPerDim[d] = float64(res.TrafficPerDim[d]) / 1e6 // MB
-		}
-		out.Rows = append(out.Rows, row)
+	spec := sweep.Spec[TableIVRow]{
+		Name: "tableiv",
+		Axes: []sweep.Axis{systemAxis(systems)},
+		Cell: func(pt sweep.Point) (TableIVRow, error) {
+			sys := systems[pt.Index("system")]
+			res, _, err := runEngine(sys.Top, collective.AllGather, size, 64, collective.Baseline)
+			if err != nil {
+				return TableIVRow{}, err
+			}
+			row := TableIVRow{
+				System:         sys.Name,
+				NPUs:           sys.Top.NumNPUs(),
+				CollectiveTime: res.Duration(),
+			}
+			for d := 0; d < 4; d++ {
+				row.TrafficPerDim[d] = float64(res.TrafficPerDim[d]) / 1e6 // MB
+			}
+			return row, nil
+		},
+		Fingerprint: func(pt sweep.Point) string {
+			// The row embeds the system name, so the name is part of the key.
+			sys := systems[pt.Index("system")]
+			return "tableiv|sys=" + sys.Name + "|" + engineFingerprint(sys.Top, collective.AllGather, size, 64, collective.Baseline)
+		},
 	}
-	return out, nil
+	res, err := sweep.Run(spec, o.Exec)
+	if err != nil {
+		return nil, err
+	}
+	return &TableIVResult{Size: size, Rows: res.Values()}, nil
 }

@@ -1,0 +1,68 @@
+package sweep
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"runtime"
+	"testing"
+)
+
+// benchCell burns a deterministic amount of CPU per cell — a stand-in
+// for one simulator run — so the engine's scaling is measurable without
+// simulator noise.
+func benchCell(seed, rounds int) [32]byte {
+	var buf [32]byte
+	binary.LittleEndian.PutUint64(buf[:8], uint64(seed))
+	for i := 0; i < rounds; i++ {
+		buf = sha256.Sum256(buf[:])
+	}
+	return buf
+}
+
+func benchSpec(rounds int) Spec[byte] {
+	return Spec[byte]{
+		Name: "bench",
+		Axes: []Axis{
+			{Name: "a", Values: []string{"0", "1", "2", "3"}},
+			{Name: "b", Values: []string{"0", "1", "2", "3", "4", "5", "6", "7"}},
+		},
+		Cell: func(pt Point) (byte, error) {
+			sum := benchCell(pt.Index("a")*8+pt.Index("b"), rounds)
+			return sum[0], nil
+		},
+	}
+}
+
+// BenchmarkEngineSerial and BenchmarkEngineParallel run the same 32-cell
+// grid with ~40k hash rounds per cell; their ratio is the engine's raw
+// scaling on the host (bounded by GOMAXPROCS).
+func BenchmarkEngineSerial(b *testing.B) {
+	spec := benchSpec(40_000)
+	for i := 0; i < b.N; i++ {
+		if _, err := Run(spec, Exec{Workers: 1}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkEngineParallel(b *testing.B) {
+	spec := benchSpec(40_000)
+	b.ReportMetric(float64(runtime.GOMAXPROCS(0)), "cores")
+	for i := 0; i < b.N; i++ {
+		if _, err := Run(spec, Exec{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkEngineOverhead measures the per-cell dispatch cost with empty
+// cells — the floor the engine adds on top of simulation work.
+func BenchmarkEngineOverhead(b *testing.B) {
+	spec := benchSpec(0)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Run(spec, Exec{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

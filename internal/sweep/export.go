@@ -1,0 +1,126 @@
+package sweep
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+)
+
+// WriteJSON writes the results as an indented JSON document. The output
+// is deterministic: rows are in grid order and point labels are keyed by
+// axis name (maps marshal with sorted keys).
+func (r *Results[T]) WriteJSON(w io.Writer) error {
+	type jsonRow struct {
+		Point map[string]string `json:"point"`
+		Value T                 `json:"value"`
+	}
+	type jsonAxis struct {
+		Name   string   `json:"name"`
+		Values []string `json:"values"`
+	}
+	doc := struct {
+		Sweep string     `json:"sweep"`
+		Axes  []jsonAxis `json:"axes"`
+		Rows  []jsonRow  `json:"rows"`
+	}{Sweep: r.Name}
+	for _, ax := range r.Axes {
+		doc.Axes = append(doc.Axes, jsonAxis{Name: ax.Name, Values: ax.Values})
+	}
+	for _, row := range r.Rows {
+		pt := make(map[string]string, len(r.Axes))
+		for i, ax := range r.Axes {
+			pt[ax.Name] = row.Point[i]
+		}
+		doc.Rows = append(doc.Rows, jsonRow{Point: pt, Value: row.Value})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(doc)
+}
+
+// WriteCSV writes the results as CSV: one column per axis followed by the
+// value's fields (flattened through their JSON form, sorted by name;
+// nested values stay compact JSON). Deterministic for a given result set.
+func (r *Results[T]) WriteCSV(w io.Writer) error {
+	// Flatten every row's value through JSON to a field map.
+	maps := make([]map[string]json.RawMessage, len(r.Rows))
+	scalar := false // value is not a JSON object; use one "value" column
+	for i, row := range r.Rows {
+		data, err := json.Marshal(row.Value)
+		if err != nil {
+			return fmt.Errorf("sweep %s: marshal row %d: %w", r.Name, i, err)
+		}
+		var m map[string]json.RawMessage
+		if err := json.Unmarshal(data, &m); err != nil {
+			scalar = true
+			maps[i] = map[string]json.RawMessage{"value": data}
+			continue
+		}
+		maps[i] = m
+	}
+	fieldSet := make(map[string]bool)
+	for _, m := range maps {
+		for k := range m {
+			fieldSet[k] = true
+		}
+	}
+	fields := make([]string, 0, len(fieldSet))
+	for k := range fieldSet {
+		fields = append(fields, k)
+	}
+	sort.Strings(fields)
+	if scalar {
+		fields = []string{"value"}
+	}
+
+	cw := csv.NewWriter(w)
+	header := make([]string, 0, len(r.Axes)+len(fields))
+	for _, ax := range r.Axes {
+		header = append(header, ax.Name)
+	}
+	header = append(header, fields...)
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	for i, row := range r.Rows {
+		rec := make([]string, 0, len(header))
+		rec = append(rec, row.Point...)
+		for _, f := range fields {
+			rec = append(rec, csvValue(maps[i][f]))
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// csvValue renders one JSON-encoded field for a CSV record: strings are
+// unquoted, scalars pass through, composites stay compact JSON.
+func csvValue(raw json.RawMessage) string {
+	if raw == nil {
+		return ""
+	}
+	if s := string(raw); len(s) > 0 && s[0] == '"' {
+		var unquoted string
+		if err := json.Unmarshal(raw, &unquoted); err == nil {
+			return unquoted
+		}
+		return s
+	}
+	return string(raw)
+}
+
+// FormatFloat renders an axis value for a numeric grid: the shortest
+// representation that round-trips, shared by sweep builders so axis
+// labels stay canonical.
+func FormatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// FormatInt renders an integer axis value.
+func FormatInt(v int) string { return strconv.Itoa(v) }
