@@ -1,9 +1,10 @@
 // Package astrasim is the public API of the ASTRA-sim 2.0 reproduction: a
 // simulator for distributed deep-learning training platforms that models
 // arbitrary parallelization strategies (as execution-trace graphs),
-// multi-dimensional hierarchical networks (as stacked Ring / FullyConnected
-// / Switch building blocks with an analytical performance model), and
-// memory systems from local HBM to disaggregated pools with in-switch
+// multi-dimensional hierarchical networks (as stacked building blocks —
+// Ring, FullyConnected, Switch, oversubscribed Switch, Mesh, 2D Torus, or
+// any registered dimension model — with an analytical performance model),
+// and memory systems from local HBM to disaggregated pools with in-switch
 // collectives.
 //
 // Quick start:
@@ -39,8 +40,11 @@ import (
 
 // MachineConfig describes a simulated training platform.
 type MachineConfig struct {
-	// Topology is the paper's shape notation, e.g. "R(4)_SW(2)" or
-	// "Ring(16)_FullyConnected(8)_Switch(4)".
+	// Topology is the paper's shape notation, e.g. "R(4)_SW(2)",
+	// "Ring(16)_FullyConnected(8)_Switch(4)", "T2D(16,16)" (a 16x16
+	// torus), "M(8)" (a wrap-free mesh), or "SW(32,4)" (a 4:1
+	// oversubscribed switch). Block names resolve through the topology
+	// model registry.
 	Topology string
 	// BandwidthsGBps gives each dimension's per-NPU shared bandwidth in
 	// GB/s, positionally (Table II convention).

@@ -113,6 +113,46 @@ func TestEstimateMatchesRun(t *testing.T) {
 	}
 }
 
+// TestEstimateMatchesRunAllBlocks drives every registered building block
+// through the full public path — shape-notation parse, closed-form
+// EstimateCollective, and event-driven Machine.Run — and checks the two
+// model paths agree for All-Reduce and All-Gather.
+func TestEstimateMatchesRunAllBlocks(t *testing.T) {
+	specs := []struct {
+		topo string
+		bw   []float64
+	}{
+		{"R(8)", []float64{100}},
+		{"FC(8)", []float64{100}},
+		{"SW(8)", []float64{100}},
+		{"M(8)", []float64{100}},
+		{"T2D(4,2)", []float64{100}},
+		{"SW(8,4)", []float64{400}},
+		{"T2D(4,4)_SW(4,2)", []float64{200, 100}},
+		{"M(4)_T2D(2,2)_SW(4)", []float64{200, 100, 50}},
+	}
+	for _, s := range specs {
+		m := testMachine(t, MachineConfig{Topology: s.topo, BandwidthsGBps: s.bw})
+		if got := m.TopologySpec(); got != s.topo {
+			t.Errorf("%s: canonical spec %q does not round-trip", s.topo, got)
+		}
+		for _, op := range []string{"all_reduce", "all_gather"} {
+			rep, err := m.Run(Collective(op, 256<<20))
+			if err != nil {
+				t.Fatalf("%s/%s: %v", s.topo, op, err)
+			}
+			est, err := m.EstimateCollective(op, 256<<20)
+			if err != nil {
+				t.Fatalf("%s/%s: %v", s.topo, op, err)
+			}
+			ratio := float64(rep.Makespan) / float64(est)
+			if ratio < 0.85 || ratio > 1.15 {
+				t.Errorf("%s/%s: run %v vs estimate %v (ratio %.3f)", s.topo, op, rep.Makespan, est, ratio)
+			}
+		}
+	}
+}
+
 func TestThemisSchedulerSelection(t *testing.T) {
 	base := testMachine(t, MachineConfig{
 		Topology:       "R(16)_R(8)",

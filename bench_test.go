@@ -7,7 +7,10 @@ package astrasim
 // performance regression harness for the simulator itself.
 
 import (
+	"encoding/json"
+	"os"
 	"testing"
+	"time"
 
 	"repro/internal/collective"
 	"repro/internal/experiments"
@@ -271,4 +274,83 @@ func itoa(v int) string {
 		v /= 10
 	}
 	return string(buf[i:])
+}
+
+// BenchmarkCollectiveByBlock measures event-driven simulation throughput
+// per registered building block: a 256 MB All-Reduce over one 64-NPU
+// dimension of each block. After the sub-benchmarks run it writes
+// BENCH_topology.json with per-block wall time, event counts and simulated
+// time, so CI tracks the dimension-model layer's cost per block.
+func BenchmarkCollectiveByBlock(b *testing.B) {
+	mk := func(kind topology.DimModel, size int) topology.Dim {
+		return topology.Dim{Kind: kind, Size: size, Bandwidth: units.GBps(100), Latency: 500 * units.Nanosecond}
+	}
+	cases := []struct {
+		name string
+		dim  topology.Dim
+	}{
+		{"Ring", mk(topology.Ring, 64)},
+		{"FullyConnected", mk(topology.FullyConnected, 64)},
+		{"Switch", mk(topology.Switch, 64)},
+		{"Mesh", mk(topology.Mesh, 64)},
+		{"Torus2D", mk(topology.Torus2D(8, 8), 64)},
+		{"OversubSwitch", mk(topology.OversubscribedSwitch(4), 64)},
+	}
+	type record struct {
+		Block     string  `json:"block"`
+		Notation  string  `json:"notation"`
+		NPUs      int     `json:"npus"`
+		NsPerOp   float64 `json:"ns_per_op"`
+		Events    uint64  `json:"events_per_op"`
+		SimTimeUs float64 `json:"sim_time_us"`
+	}
+	const size = 256 * units.MB
+	records := make([]record, len(cases))
+	for ci, c := range cases {
+		top := topology.MustNew(c.dim)
+		b.Run(c.name, func(b *testing.B) {
+			b.SetBytes(int64(size))
+			var events uint64
+			var simTime units.Time
+			start := time.Now()
+			for i := 0; i < b.N; i++ {
+				eng := timeline.New()
+				net := network.NewBackend(eng, top)
+				ce := collective.NewEngine(net, collective.WithChunks(64))
+				if err := ce.Start(collective.AllReduce, size, collective.FullMachine(top), nil); err != nil {
+					b.Fatal(err)
+				}
+				end, err := eng.Run()
+				if err != nil {
+					b.Fatal(err)
+				}
+				events, simTime = eng.Fired(), end
+			}
+			// The closure runs once per auto-scaling round; the last round
+			// (largest N) leaves the steadiest estimate in the record.
+			records[ci] = record{
+				Block:     c.name,
+				Notation:  c.dim.Format(),
+				NPUs:      c.dim.Size,
+				NsPerOp:   float64(time.Since(start).Nanoseconds()) / float64(b.N),
+				Events:    events,
+				SimTimeUs: simTime.Micros(),
+			}
+		})
+	}
+	// Sub-benchmarks can be filtered away (-bench 'ByBlock/Ring'); only
+	// write the artifact when every block actually ran, so a partial run
+	// never replaces a complete capture with zeroed rows.
+	for _, r := range records {
+		if r.Block == "" {
+			return
+		}
+	}
+	doc, err := json.MarshalIndent(records, "", "  ")
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := os.WriteFile("BENCH_topology.json", append(doc, '\n'), 0o644); err != nil {
+		b.Fatal(err)
+	}
 }

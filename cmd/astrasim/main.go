@@ -44,7 +44,7 @@ import (
 func main() {
 	var (
 		configPath = flag.String("config", "", "machine config JSON file (astrasim.MachineConfig)")
-		topo       = flag.String("topology", "", "topology shape, e.g. R(2)_FC(8)_R(8)_SW(4)")
+		topo       = flag.String("topology", "", "topology shape, e.g. R(2)_FC(8)_R(8)_SW(4), T2D(4,4)_SW(8,2), M(8)_SW(4)")
 		bw         = flag.String("bw", "", "per-dimension bandwidths in GB/s, comma separated")
 		scheduler  = flag.String("scheduler", "", "collective scheduler: baseline or themis (default: config file or baseline)")
 		tflops     = flag.Float64("tflops", 0, "NPU peak TFLOPS (default: config file or 234)")

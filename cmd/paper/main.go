@@ -8,6 +8,8 @@
 //	paper -exp fig9b     scalability study (Fig. 9b)
 //	paper -exp fig11     disaggregated memory study (Table V / Fig. 11)
 //	paper -exp taxonomy  topology notation round-trips (Fig. 3 / Table I)
+//	paper -exp fabrics   pluggable-fabric comparison (Torus vs Ring-stack
+//	                     vs oversubscribed Switch, GPT-3 + 1 GB All-Reduce)
 //	paper -exp all       everything above
 //
 // Every experiment grid runs on the parallel sweep engine; -parallel
@@ -36,7 +38,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run (fig4|speedup|tableiv|fig9a|fig9b|fig11|taxonomy|ablation|pools|all)")
+	exp := flag.String("exp", "all", "experiment to run (fig4|speedup|tableiv|fig9a|fig9b|fig11|taxonomy|ablation|pools|fabrics|all)")
 	reduced := flag.Bool("reduced", false, "shrink workloads for a quick pass")
 	parallel := flag.Int("parallel", 0, "sweep worker count; 0 = all cores (results identical for any value)")
 	jsonOut := flag.Bool("json", false, "emit results as JSON instead of tables")
@@ -66,8 +68,9 @@ func main() {
 		"taxonomy": runTaxonomy,
 		"ablation": runAblation,
 		"pools":    runPoolDesigns,
+		"fabrics":  runFabrics,
 	}
-	order := []string{"fig4", "speedup", "tableiv", "fig9a", "fig9b", "fig11", "taxonomy", "ablation", "pools"}
+	order := []string{"fig4", "speedup", "tableiv", "fig9a", "fig9b", "fig11", "taxonomy", "ablation", "pools", "fabrics"}
 
 	if *exp == "all" {
 		for _, name := range order {
@@ -256,6 +259,8 @@ func runTaxonomy(o experiments.Options, jsonOut bool) error {
 		{"R(4)_SW(2)", "Meta Zion / NVIDIA DGX-1"},
 		{"FC(4)_FC(2)_FC(2)", "DragonFly (fully populated)"},
 		{"R(4)_R(2)_R(2)", "Google TPUv4 (3D torus)"},
+		{"T2D(4,4)_SW(2)", "TPU-style 2D torus pods"},
+		{"M(4)_SW(4,2)", "NoC mesh, 2:1 tapered uplinks"},
 	}
 	if jsonOut {
 		type row struct {
@@ -338,5 +343,28 @@ func runPoolDesigns(o experiments.Options, jsonOut bool) error {
 	fmt.Println("\nThe paper evaluates only the hierarchical design (Section V-B); this")
 	fmt.Println("grid quantifies the fabric-architecture effect Fig. 5 sketches, at equal")
 	fmt.Println("per-resource bandwidths.")
+	return nil
+}
+
+func runFabrics(o experiments.Options, jsonOut bool) error {
+	res, err := experiments.Fabrics(o)
+	if err != nil {
+		return err
+	}
+	if jsonOut {
+		return emitJSON("fabrics", res)
+	}
+	header("Extension — pluggable fabric comparison (512 NPUs, 500 GB/s configured per NPU)")
+	if o.Reduced {
+		fmt.Println("(reduced workloads: layer counts / 8; ratios preserved)")
+	}
+	printCells(res.Cells, false)
+	fmt.Println("\nClosed-form 1 GB All-Reduce screening estimates:")
+	est := experiments.FabricEstimates()
+	for _, s := range experiments.FabricSystems() {
+		fmt.Printf("  %-10s %-18s %10.1fus\n", s.Name, s.Top.String(), est[s.Name].Micros())
+	}
+	fmt.Println("\nTorus vs ring-stack shows the single-fabric advantage; SW-Taper rows")
+	fmt.Println("price leaf-switch oversubscription against the flat switch hierarchy.")
 	return nil
 }

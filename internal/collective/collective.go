@@ -238,11 +238,11 @@ func (e *Engine) Start(op Op, size units.ByteSize, g Group, done func(Result)) e
 	// counter-balance in the wrong direction.
 	run.contrib = make([]float64, len(run.spans))
 	if e.policy == Themis && op != AllToAll {
-		traffic := spanTraffic(op, size, g)
+		traffic := spanTraffic(e.top, op, size, g)
 		var totalBytes float64
 		var aggBW float64
 		for _, sp := range run.spans {
-			aggBW += float64(e.top.Dims[sp.Phys].Bandwidth)
+			aggBW += float64(e.top.Dims[sp.Phys].EffectiveBandwidth())
 		}
 		for _, b := range traffic {
 			totalBytes += float64(b)
@@ -374,7 +374,7 @@ func (e *Engine) themisPlan(run *collectiveRun, op Op, chunkSize units.ByteSize)
 				continue
 			}
 			k := float64(s.K)
-			bw := float64(e.top.Dims[s.Phys].Bandwidth)
+			bw := float64(e.top.Dims[s.Phys].EffectiveBandwidth())
 			if bw <= 0 {
 				bw = 1 // treat unset bandwidth as uncosted
 			}
@@ -428,12 +428,12 @@ func (e *Engine) advance(run *collectiveRun, cs *chunkState) {
 	ph := cs.phases[cs.done]
 	sp := run.spans[ph.span]
 	dim := e.top.Dims[sp.Phys]
-	traffic := phaseTraffic(ph.op, cs.size, sp.K)
+	traffic := dim.PhaseTraffic(phaseKind(ph.op), cs.size, sp.K)
 	_, serEnd := e.net.ReservePhase(run.members, sp.Phys, traffic)
 	run.traffic[sp.Phys] += traffic
 	cs.size = phaseOutput(ph.op, cs.size, sp.K)
 	cs.done++
-	completion := serEnd + phaseLatency(dim, sp.K)
+	completion := serEnd + dim.PhaseLatency(sp.K)
 	e.net.SimSchedule(completion-e.net.Now(), func() {
 		e.advance(run, cs)
 	})
@@ -458,20 +458,18 @@ func (e *Engine) finish(run *collectiveRun) {
 	}
 }
 
-// phaseTraffic returns the per-NPU sent+received bytes of one phase given
-// the chunk's per-NPU input size D on a logical span of size k:
-//
-//	Reduce-Scatter: 2·D·(k−1)/k  (send and receive D/k per peer)
-//	All-Gather:     2·D·(k−1)    (data grows k-fold)
-//	All-to-All:     2·D·(k−1)/k  (reshuffle the (k−1)/k remote fraction)
-func phaseTraffic(op Op, d units.ByteSize, k int) units.ByteSize {
+// phaseKind maps a primitive collective op to the model layer's phase
+// identity. Composite ops (All-Reduce) have no single phase kind.
+func phaseKind(op Op) topology.PhaseKind {
 	switch op {
-	case ReduceScatter, AllToAll:
-		return 2 * d * units.ByteSize(k-1) / units.ByteSize(k)
+	case ReduceScatter:
+		return topology.PhaseReduceScatter
 	case AllGather:
-		return 2 * d * units.ByteSize(k-1)
+		return topology.PhaseAllGather
+	case AllToAll:
+		return topology.PhaseAllToAll
 	default:
-		panic("collective: phaseTraffic on composite op")
+		panic("collective: phaseKind on composite op")
 	}
 }
 
@@ -487,33 +485,6 @@ func phaseOutput(op Op, d units.ByteSize, k int) units.ByteSize {
 	default:
 		panic("collective: phaseOutput on composite op")
 	}
-}
-
-// phaseLatency is the latency component of one phase on a logical span of
-// size k: the algorithm's step count times the per-step hop latency
-// (Halving-Doubling crosses the switch, i.e. two links, per step).
-func phaseLatency(d topology.Dim, k int) units.Time {
-	if k <= 1 {
-		return 0
-	}
-	steps, hopsPerStep := k-1, 1
-	switch d.Kind {
-	case topology.FullyConnected:
-		steps = 1
-	case topology.Switch:
-		steps = ceilLog2(k)
-		hopsPerStep = 2
-	}
-	return units.Time(steps*hopsPerStep) * d.Latency
-}
-
-func ceilLog2(n int) int {
-	s, v := 0, 1
-	for v < n {
-		v <<= 1
-		s++
-	}
-	return s
 }
 
 // InitialShard returns the per-NPU starting data size for an op of total

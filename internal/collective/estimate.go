@@ -21,6 +21,11 @@ import (
 // For the Themis policy the per-dimension loads are balanced, so the bound
 // becomes total traffic over aggregate bandwidth (floored by the least
 // load any legal ordering must still place on each dimension).
+//
+// All per-span costs come from the dimension-model hooks (phase traffic,
+// phase latency, effective bandwidth), so the estimator prices every
+// registered block — including derated oversubscribed switches — with the
+// same arithmetic the engine executes.
 func Estimate(top *topology.Topology, op Op, size units.ByteSize, g Group, policy Policy, chunks int) units.Time {
 	if chunks <= 0 {
 		chunks = 64
@@ -31,9 +36,9 @@ func Estimate(top *topology.Topology, op Op, size units.ByteSize, g Group, polic
 	var latency units.Time
 	for _, s := range g.Spans {
 		dim := top.Dims[s.Phys]
-		latency += phaseLatency(dim, s.K)
+		latency += dim.PhaseLatency(s.K)
 		if op == AllReduce {
-			latency += phaseLatency(dim, s.K) // RS and AG each traverse the span
+			latency += dim.PhaseLatency(s.K) // RS and AG each traverse the span
 		}
 	}
 
@@ -43,7 +48,7 @@ func Estimate(top *topology.Topology, op Op, size units.ByteSize, g Group, polic
 		var totalSec float64
 		var aggBW units.Bandwidth
 		for _, s := range g.Spans {
-			aggBW += top.Dims[s.Phys].Bandwidth
+			aggBW += top.Dims[s.Phys].EffectiveBandwidth()
 		}
 		var total units.Time
 		for _, b := range busyPerSpan {
@@ -83,48 +88,50 @@ func Estimate(top *topology.Topology, op Op, size units.ByteSize, g Group, polic
 }
 
 // spanBusyTimes returns each span's serialization time under the baseline
-// fixed ordering.
+// fixed ordering, at the dimensions' effective bandwidths.
 func spanBusyTimes(top *topology.Topology, op Op, size units.ByteSize, g Group) []units.Time {
-	traffic := spanTraffic(op, size, g)
+	traffic := spanTraffic(top, op, size, g)
 	out := make([]units.Time, len(g.Spans))
 	for i, s := range g.Spans {
-		out[i] = top.Dims[s.Phys].Bandwidth.TransferTime(traffic[i])
+		out[i] = top.Dims[s.Phys].TransferTime(traffic[i])
 	}
 	return out
 }
 
 // spanTraffic returns the per-NPU sent+received bytes on each span under
-// the baseline ordering (Reduce-Scatter ascending, All-Gather descending).
-func spanTraffic(op Op, size units.ByteSize, g Group) []units.ByteSize {
+// the baseline ordering (Reduce-Scatter ascending, All-Gather descending),
+// as priced by each span's dimension model.
+func spanTraffic(top *topology.Topology, op Op, size units.ByteSize, g Group) []units.ByteSize {
 	n := g.Size()
 	out := make([]units.ByteSize, len(g.Spans))
+	dim := func(i int) topology.Dim { return top.Dims[g.Spans[i].Phys] }
 	switch op {
 	case ReduceScatter:
 		d := size
 		for i, s := range g.Spans {
-			out[i] = phaseTraffic(ReduceScatter, d, s.K)
+			out[i] = dim(i).PhaseTraffic(topology.PhaseReduceScatter, d, s.K)
 			d /= units.ByteSize(s.K)
 		}
 	case AllGather:
 		d := InitialShard(AllGather, size, n)
 		for i := len(g.Spans) - 1; i >= 0; i-- {
-			out[i] = phaseTraffic(AllGather, d, g.Spans[i].K)
+			out[i] = dim(i).PhaseTraffic(topology.PhaseAllGather, d, g.Spans[i].K)
 			d *= units.ByteSize(g.Spans[i].K)
 		}
 	case AllReduce:
 		d := size
 		after := make([]units.ByteSize, len(g.Spans))
 		for i, s := range g.Spans {
-			out[i] += phaseTraffic(ReduceScatter, d, s.K)
+			out[i] += dim(i).PhaseTraffic(topology.PhaseReduceScatter, d, s.K)
 			d /= units.ByteSize(s.K)
 			after[i] = d
 		}
 		for i := len(g.Spans) - 1; i >= 0; i-- {
-			out[i] += phaseTraffic(AllGather, after[i], g.Spans[i].K)
+			out[i] += dim(i).PhaseTraffic(topology.PhaseAllGather, after[i], g.Spans[i].K)
 		}
 	case AllToAll:
 		for i, s := range g.Spans {
-			out[i] = phaseTraffic(AllToAll, size, s.K)
+			out[i] = dim(i).PhaseTraffic(topology.PhaseAllToAll, size, s.K)
 		}
 	}
 	return out
@@ -135,7 +142,7 @@ func spanTraffic(op Op, size units.ByteSize, g Group) []units.ByteSize {
 // Table IV's "message size per dimension". The slice is indexed by physical
 // dimension.
 func TrafficPerDim(top *topology.Topology, op Op, size units.ByteSize, g Group) []units.ByteSize {
-	perSpan := spanTraffic(op, size, g)
+	perSpan := spanTraffic(top, op, size, g)
 	out := make([]units.ByteSize, top.NumDims())
 	for i, s := range g.Spans {
 		out[s.Phys] += perSpan[i]
@@ -151,6 +158,7 @@ func minMandatoryBusy(top *topology.Topology, op Op, shard units.ByteSize, g Gro
 	var worst units.Time
 	for i, s := range g.Spans {
 		k := s.K
+		dim := top.Dims[s.Phys]
 		// Smallest reduce-scatter input for this span: run it last, after
 		// every other span has divided D down.
 		rsMin := shard
@@ -162,19 +170,19 @@ func minMandatoryBusy(top *topology.Topology, op Op, shard units.ByteSize, g Gro
 		var traffic units.ByteSize
 		switch op {
 		case ReduceScatter:
-			traffic = phaseTraffic(ReduceScatter, rsMin, k)
+			traffic = dim.PhaseTraffic(topology.PhaseReduceScatter, rsMin, k)
 		case AllToAll:
 			// All-to-all phases keep D constant; no ordering freedom.
-			traffic = phaseTraffic(AllToAll, shard, k)
+			traffic = dim.PhaseTraffic(topology.PhaseAllToAll, shard, k)
 		case AllGather:
 			// Smallest all-gather input: run this span first, before growth.
-			traffic = phaseTraffic(AllGather, shard, k)
+			traffic = dim.PhaseTraffic(topology.PhaseAllGather, shard, k)
 		case AllReduce:
 			// RS at its minimum plus AG at the post-RS minimum (shard/N).
-			traffic = phaseTraffic(ReduceScatter, rsMin, k) +
-				phaseTraffic(AllGather, rsMin/units.ByteSize(k), k)
+			traffic = dim.PhaseTraffic(topology.PhaseReduceScatter, rsMin, k) +
+				dim.PhaseTraffic(topology.PhaseAllGather, rsMin/units.ByteSize(k), k)
 		}
-		if t := top.Dims[s.Phys].Bandwidth.TransferTime(traffic); t > worst {
+		if t := dim.TransferTime(traffic); t > worst {
 			worst = t
 		}
 	}

@@ -15,11 +15,20 @@ import (
 
 func randomTopo(rng *rand.Rand) *topology.Topology {
 	nd := rng.Intn(3) + 2
+	kinds := []topology.DimModel{
+		topology.Ring, topology.FullyConnected, topology.Switch,
+		topology.Mesh, topology.Torus2D(2, 4), topology.OversubscribedSwitch(2),
+	}
 	dims := make([]topology.Dim, nd)
 	for i := range dims {
+		kind := kinds[rng.Intn(len(kinds))]
+		size := []int{2, 4, 8}[rng.Intn(3)]
+		if kind == topology.Torus2D(2, 4) {
+			size = 8
+		}
 		dims[i] = topology.Dim{
-			Kind:      topology.BlockKind(rng.Intn(3)),
-			Size:      []int{2, 4, 8}[rng.Intn(3)],
+			Kind:      kind,
+			Size:      size,
 			Bandwidth: units.GBps(float64(rng.Intn(400) + 50)),
 		}
 	}

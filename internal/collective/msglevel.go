@@ -8,13 +8,13 @@ import (
 	"repro/internal/units"
 )
 
-// This file implements the three topology-aware collective algorithms of
-// Table I at message granularity — every point-to-point transfer is issued
-// through the network backend individually:
-//
-//	Ring            (Chan et al., PPoPP 2006)  on Ring dims
-//	Direct          (Thakur et al., IJHPCA)    on FullyConnected dims
-//	Halving-Doubling (Thakur et al., IJHPCA)   on Switch dims
+// This file executes the blocks' topology-aware collective algorithms at
+// message granularity — every point-to-point transfer is issued through the
+// network backend individually. The per-step schedules come from the
+// dimension models' PhaseSchedule hook (Table I: Ring on Ring dims, Direct
+// on FullyConnected dims, Halving-Doubling on Switch dims, plus the
+// embedded-ring Mesh and per-axis-ring Torus2D schedules), so this executor
+// contains no block-specific logic.
 //
 // The chunk-phase model in collective.go is the production path (it scales
 // to thousands of NPUs); the message-level path exists to validate that the
@@ -53,16 +53,30 @@ func RunMessageLevel(net *network.Backend, op Op, size units.ByteSize, dim, base
 	return nil
 }
 
-// runMsgPhase dispatches on the dimension's building block per Table I.
+// runMsgPhase executes the dimension model's message-level schedule:
+// bulk-synchronous steps of point-to-point transfers, each step barriered
+// on all of its deliveries.
 func runMsgPhase(net *network.Backend, top *topology.Topology, members []int, dim int, op Op, d units.ByteSize, tagBase int, done func(units.Time)) {
-	switch top.Dims[dim].Kind {
-	case topology.Ring:
-		runRing(net, members, dim, op, d, tagBase, done)
-	case topology.FullyConnected:
-		runDirect(net, members, dim, op, d, tagBase, done)
-	case topology.Switch:
-		runHalvingDoubling(net, members, dim, op, d, tagBase, done)
+	k := len(members)
+	sched := top.Dims[dim].Kind.PhaseSchedule(phaseKind(op), k, d)
+	var step func(s int)
+	step = func(s int) {
+		if s >= len(sched) {
+			done(net.Now())
+			return
+		}
+		xfers := sched[s]
+		if len(xfers) == 0 {
+			step(s + 1)
+			return
+		}
+		bar := newBarrier(len(xfers), func() { step(s + 1) })
+		for i, x := range xfers {
+			net.SendOnDim(members[x.Src], members[x.Dst], dim, x.Bytes,
+				tagBase+s*k*k+i, nil, func(network.Message) { bar.arrive() })
+		}
 	}
+	step(0)
 }
 
 // barrier invokes done once count completions have been reported.
@@ -80,104 +94,8 @@ func (b *barrier) arrive() {
 	}
 }
 
-// runRing runs the ring algorithm: k−1 steps; at each step member i sends
-// its current chunk to member (i+1) and receives from (i−1). For
-// Reduce-Scatter the chunk is D/k; for All-Gather it is the member's shard
-// D (growing the held data each step).
-func runRing(net *network.Backend, members []int, dim int, op Op, d units.ByteSize, tagBase int, done func(units.Time)) {
-	k := len(members)
-	per := d
-	if op == ReduceScatter {
-		per = d / units.ByteSize(k)
-	}
-	var step func(s int)
-	step = func(s int) {
-		if s == k-1 {
-			done(net.Now())
-			return
-		}
-		bar := newBarrier(k, func() { step(s + 1) })
-		for i := 0; i < k; i++ {
-			src, dst := members[i], members[(i+1)%k]
-			net.SendOnDim(src, dst, dim, per, tagBase+s*k+i, nil, func(network.Message) { bar.arrive() })
-		}
-	}
-	step(0)
-}
-
-// runDirect runs the direct algorithm on a fully-connected dimension: a
-// single step in which every member exchanges with every other member
-// simultaneously (D/k per peer for Reduce-Scatter, the full shard D per
-// peer for All-Gather).
-func runDirect(net *network.Backend, members []int, dim int, op Op, d units.ByteSize, tagBase int, done func(units.Time)) {
-	k := len(members)
-	per := d
-	if op == ReduceScatter {
-		per = d / units.ByteSize(k)
-	}
-	bar := newBarrier(k*(k-1), func() { done(net.Now()) })
-	tag := tagBase
-	for i := 0; i < k; i++ {
-		for j := 0; j < k; j++ {
-			if i == j {
-				continue
-			}
-			net.SendOnDim(members[i], members[j], dim, per, tag, nil, func(network.Message) { bar.arrive() })
-			tag++
-		}
-	}
-}
-
-// runHalvingDoubling runs the recursive halving (Reduce-Scatter) or
-// doubling (All-Gather) algorithm across a switch: log2(k) steps of
-// pairwise exchange at power-of-two distances. k must be a power of two;
-// non-power-of-two switch groups fall back to direct exchange, matching
-// collective-library behaviour for irregular sizes.
-func runHalvingDoubling(net *network.Backend, members []int, dim int, op Op, d units.ByteSize, tagBase int, done func(units.Time)) {
-	k := len(members)
-	if k&(k-1) != 0 {
-		runDirect(net, members, dim, op, d, tagBase, done)
-		return
-	}
-	steps := 0
-	for v := 1; v < k; v <<= 1 {
-		steps++
-	}
-	var step func(s int, cur units.ByteSize)
-	step = func(s int, cur units.ByteSize) {
-		if s == steps {
-			done(net.Now())
-			return
-		}
-		// Reduce-Scatter halves the exchanged data each step starting at
-		// D/2; All-Gather doubles it starting at the shard D.
-		var per units.ByteSize
-		var dist int
-		if op == ReduceScatter {
-			per = cur / 2
-			dist = k >> (s + 1)
-		} else {
-			per = cur
-			dist = 1 << s
-		}
-		bar := newBarrier(k, func() {
-			next := per
-			if op == ReduceScatter {
-				next = cur / 2
-			} else {
-				next = cur * 2
-			}
-			step(s+1, next)
-		})
-		for i := 0; i < k; i++ {
-			peer := i ^ dist
-			net.SendOnDim(members[i], members[peer], dim, per, tagBase+s*k+i, nil, func(network.Message) { bar.arrive() })
-		}
-	}
-	step(0, d)
-}
-
-// runMsgAllToAll exchanges size/k bytes between every ordered pair.
+// runMsgAllToAll exchanges size/k bytes between every ordered pair; the
+// pattern is block-agnostic, so no model schedule is involved.
 func runMsgAllToAll(net *network.Backend, top *topology.Topology, members []int, dim int, size units.ByteSize, tagBase int, done func(units.Time)) {
 	k := len(members)
 	per := size / units.ByteSize(k)

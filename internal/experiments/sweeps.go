@@ -26,7 +26,9 @@ func topoFingerprint(t *topology.Topology) string {
 		if i > 0 {
 			b.WriteByte('_')
 		}
-		fmt.Fprintf(&b, "%s(%d)@%g/%d", d.Kind, d.Size, d.Bandwidth.GBpsValue(), int64(d.Latency))
+		// Format carries the full model identity (torus axes, switch
+		// oversubscription), not just the block's short name and size.
+		fmt.Fprintf(&b, "%s@%g/%d", d.Format(), d.Bandwidth.GBpsValue(), int64(d.Latency))
 	}
 	return b.String()
 }

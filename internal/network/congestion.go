@@ -1,18 +1,23 @@
 package network
 
 import (
-	"repro/internal/topology"
 	"repro/internal/units"
 )
 
 // First-order congestion modeling — the paper's stated future work
 // (Section IV-C, footnote 5: "Implementing first-order congestion modeling
-// into the analytical backend is our future work"). When enabled, ring
-// messages charge every link they transit, not just the endpoints, so
-// multi-hop point-to-point traffic (e.g. strided pipeline stages or
-// non-neighbour sends) contends with traffic at intermediate NPUs. The
-// default remains endpoint-only charging, which is exact for the
-// congestion-free topology-aware collectives the paper targets.
+// into the analytical backend is our future work"). When enabled, messages
+// charge every NPU link they transit, not just the endpoints, so multi-hop
+// point-to-point traffic (e.g. strided pipeline stages or non-neighbour
+// sends) contends with traffic at intermediate NPUs. The default remains
+// endpoint-only charging, which is exact for the congestion-free
+// topology-aware collectives the paper targets.
+//
+// Which positions a message transits is a dimension-model decision
+// (TransitPositions): rings charge the shortest wrap path, meshes the
+// straight line, tori the dimension-ordered per-axis rings; switch and
+// fully-connected blocks have no NPU transit path (fabric hops are folded
+// into the hop latency) and keep endpoint charging.
 
 // SetTransitCharging enables or disables first-order transit congestion.
 func (b *Backend) SetTransitCharging(on bool) { b.chargeTransit = on }
@@ -21,33 +26,25 @@ func (b *Backend) SetTransitCharging(on bool) { b.chargeTransit = on }
 func (b *Backend) TransitCharging() bool { return b.chargeTransit }
 
 // reserveTransit charges the serialization time to every node's dimension
-// link along the shortest ring path from src to dst (inclusive), returning
-// (src egress end, latest charged end). Non-ring dimensions have no
-// intermediate NPUs (switch and fully-connected hops terminate at fabric
-// elements modeled inside the hop latency), so they fall back to endpoint
-// charging.
+// link along the model's transit path from src to dst (inclusive),
+// returning (src egress end, latest charged end). Blocks without a transit
+// path fall back to endpoint charging.
 func (b *Backend) reserveTransit(src, dst, dim int, size units.ByteSize) (units.Time, units.Time) {
 	d := b.top.Dims[dim]
-	if d.Kind != topology.Ring {
+	srcC := b.top.Coord(src)
+	dstC := b.top.Coord(dst)
+	path := d.Kind.TransitPositions(srcC[dim], dstC[dim], d.Size)
+	if len(path) == 0 {
 		return b.reserve(src, dst, dim, size)
 	}
-	srcC, dstC := b.top.Coord(src), b.top.Coord(dst)
-	k := d.Size
-	fwd := (dstC[dim] - srcC[dim] + k) % k
-	bwd := (srcC[dim] - dstC[dim] + k) % k
-	dir := 1
-	hops := fwd
-	if bwd < fwd {
-		dir, hops = -1, bwd
-	}
-	dur := d.Bandwidth.TransferTime(size)
+	dur := d.TransferTime(size)
 	now := b.eng.Now()
 	stride := b.top.DimStride(dim)
+	base := src - srcC[dim]*stride
 
 	var srcEnd, ready units.Time
-	node := src
-	for h := 0; h <= hops; h++ {
-		li := b.linkIdx(node, dim)
+	for h, pos := range path {
+		li := b.linkIdx(base+pos*stride, dim)
 		start := b.linkFree[li]
 		if start < now {
 			start = now
@@ -60,10 +57,6 @@ func (b *Backend) reserveTransit(src, dst, dim int, size units.ByteSize) (units.
 		if end > ready {
 			ready = end
 		}
-		// Advance around the ring.
-		pos := (node / stride) % k
-		next := (pos + dir + k) % k
-		node += (next - pos) * stride
 	}
 	return srcEnd, ready
 }

@@ -137,7 +137,7 @@ func (b *Backend) linkIdx(npu, dim int) int { return npu*b.dims + dim }
 // convoy-chains around rings when every NPU sends and receives at once.
 func (b *Backend) reserve(src, dst, dim int, size units.ByteSize) (units.Time, units.Time) {
 	d := b.top.Dims[dim]
-	dur := d.Bandwidth.TransferTime(size)
+	dur := d.TransferTime(size)
 	now := b.eng.Now()
 	si, di := b.linkIdx(src, dim), b.linkIdx(dst, dim)
 	srcStart := b.linkFree[si]
@@ -301,7 +301,7 @@ func (b *Backend) EstimateP2P(src, dst int, size units.ByteSize) units.Time {
 			continue
 		}
 		hops := d.Hops(srcC[dim], dstC[dim])
-		t += units.Time(hops)*d.Latency + d.Bandwidth.TransferTime(size)
+		t += units.Time(hops)*d.Latency + d.TransferTime(size)
 	}
 	return t
 }

@@ -26,7 +26,7 @@ func (b *Backend) PhaseAvailability(members []int, dim int) units.Time {
 // sum matches the paper's per-dimension message-size accounting.
 func (b *Backend) ReservePhase(members []int, dim int, perNPUTraffic units.ByteSize) (start, end units.Time) {
 	d := b.top.Dims[dim]
-	dur := d.Bandwidth.TransferTime(perNPUTraffic)
+	dur := d.TransferTime(perNPUTraffic)
 	start = b.PhaseAvailability(members, dim)
 	end = start + dur
 	half := perNPUTraffic / 2

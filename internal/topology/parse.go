@@ -14,10 +14,15 @@ import (
 //	"SW(3)_SW(2)"                (NVIDIA DGX-2 / DGX-A100 style)
 //	"FC(4)_FC(2)_FC(2)"          (fully-populated DragonFly)
 //	"R(4)_FC(2)_SW(2)"
+//	"T2D(4,4)_SW(8)"             (TPU-style 2D torus pods under a switch)
+//	"M(8)_SW(16,4)"              (NoC mesh under a 4:1 tapered switch)
 //
-// Block names are case-insensitive and accept both short (R, FC, SW) and
-// long (Ring, FullyConnected, Switch) spellings. Bandwidths and latencies
-// are zero; set them afterwards or use ParseWithBandwidth.
+// Block names are case-insensitive and resolved through the model registry;
+// both short (R, FC, SW, M, T2D) and long (Ring, FullyConnected, Switch,
+// Mesh, Torus2D) spellings are registered. Multi-argument blocks take
+// comma-separated arguments: Torus2D(a,b) spans a*b NPUs, SW(k,o) is a
+// k-port switch whose uplinks are oversubscribed o:1. Bandwidths and
+// latencies are zero; set them afterwards or use ParseWithBandwidth.
 func Parse(spec string) (*Topology, error) {
 	spec = strings.TrimSpace(spec)
 	if spec == "" {
@@ -60,33 +65,23 @@ func parseBlock(s string) (Dim, error) {
 	s = strings.TrimSpace(s)
 	open := strings.IndexByte(s, '(')
 	if open < 0 || !strings.HasSuffix(s, ")") {
-		return Dim{}, fmt.Errorf("expected Block(k) form")
+		return Dim{}, fmt.Errorf("expected Block(args) form")
 	}
 	name := strings.TrimSpace(s[:open])
-	arg := s[open+1 : len(s)-1]
-	k, err := strconv.Atoi(strings.TrimSpace(arg))
-	if err != nil {
-		return Dim{}, fmt.Errorf("bad size %q: %w", arg, err)
+	var args []int
+	for _, a := range strings.Split(s[open+1:len(s)-1], ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(a))
+		if err != nil {
+			return Dim{}, fmt.Errorf("bad argument %q: %w", a, err)
+		}
+		args = append(args, v)
 	}
-	if k < 2 {
-		return Dim{}, fmt.Errorf("size %d; building blocks need k >= 2", k)
-	}
-	kind, err := parseKind(name)
+	model, size, err := ModelFor(name, args)
 	if err != nil {
 		return Dim{}, err
 	}
-	return Dim{Kind: kind, Size: k}, nil
-}
-
-func parseKind(name string) (BlockKind, error) {
-	switch strings.ToLower(name) {
-	case "r", "ring":
-		return Ring, nil
-	case "fc", "fullyconnected", "fully-connected":
-		return FullyConnected, nil
-	case "sw", "switch":
-		return Switch, nil
-	default:
-		return 0, fmt.Errorf("unknown building block %q (want Ring/FC/Switch)", name)
+	if err := model.Validate(size); err != nil {
+		return Dim{}, err
 	}
+	return Dim{Kind: model, Size: size}, nil
 }

@@ -79,9 +79,9 @@ func TestParseErrors(t *testing.T) {
 		"R(4",
 		"R()",
 		"R(one)",
-		"R(1)",        // k < 2
-		"Mesh(4)",     // unknown block
-		"R(4)__SW(2)", // empty segment
+		"R(1)",         // k < 2
+		"Hypercube(4)", // unknown block
+		"R(4)__SW(2)",  // empty segment
 	}
 	for _, s := range bad {
 		if _, err := Parse(s); err == nil {

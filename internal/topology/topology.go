@@ -1,12 +1,17 @@
 // Package topology implements the paper's multi-dimensional hierarchical
 // network representation (Section IV-B): arbitrary topologies are assembled
-// by stacking three building blocks — Ring(k), FullyConnected(k), and
-// Switch(k) — each of which has a known congestion-free topology-aware
-// collective algorithm (Table I):
+// by stacking building blocks, each of which has a known congestion-free
+// topology-aware collective algorithm (Table I):
 //
 //	Ring           -> Ring collective
 //	FullyConnected -> Direct collective
 //	Switch         -> Halving-Doubling collective
+//	Mesh           -> Ring collective over a dilation-2 line embedding
+//	Torus2D        -> per-axis bidirectional-ring phases
+//
+// Block behavior lives behind the DimModel interface (model.go) with a
+// notation registry, so new fabrics plug in without touching the parser,
+// the estimator, or the event-driven engine.
 //
 // NPUs are addressed by mixed-radix coordinates: dimension 1 varies fastest,
 // matching the paper's convention that Dim 1 is the innermost (e.g. on-chip
@@ -20,67 +25,17 @@ import (
 	"repro/internal/units"
 )
 
-// BlockKind identifies one of the three hierarchical building blocks.
-type BlockKind int
-
-// The three building blocks of Fig. 3(a).
-const (
-	Ring BlockKind = iota
-	FullyConnected
-	Switch
-)
-
-// String returns the canonical short notation for the block.
-func (k BlockKind) String() string {
-	switch k {
-	case Ring:
-		return "R"
-	case FullyConnected:
-		return "FC"
-	case Switch:
-		return "SW"
-	default:
-		return fmt.Sprintf("BlockKind(%d)", int(k))
-	}
-}
-
-// LongName returns the spelled-out block name used in the paper's prose.
-func (k BlockKind) LongName() string {
-	switch k {
-	case Ring:
-		return "Ring"
-	case FullyConnected:
-		return "FullyConnected"
-	case Switch:
-		return "Switch"
-	default:
-		return k.String()
-	}
-}
-
-// CollectiveName returns the topology-aware collective algorithm associated
-// with the block by Table I of the paper.
-func (k BlockKind) CollectiveName() string {
-	switch k {
-	case Ring:
-		return "Ring"
-	case FullyConnected:
-		return "Direct"
-	case Switch:
-		return "HalvingDoubling"
-	default:
-		return "Unknown"
-	}
-}
-
 // Dim is one dimension of a multi-dimensional topology: a building block of
 // a given size with a per-NPU bandwidth and a per-hop link latency.
 type Dim struct {
-	Kind BlockKind
+	// Kind is the dimension's building-block model (Ring, FullyConnected,
+	// Switch, Mesh, Torus2D(a,b), OversubscribedSwitch(o), ...).
+	Kind DimModel
 	// Size is the number of NPUs connected by this block (k in Ring(k)).
 	Size int
 	// Bandwidth is the network bandwidth available to each NPU on this
 	// dimension, in the paper's per-dimension GB/s convention (Table II).
+	// Blocks may derate it (see EffectiveBandwidth).
 	Bandwidth units.Bandwidth
 	// Latency is the per-hop link traversal latency.
 	Latency units.Time
@@ -92,21 +47,7 @@ func (d Dim) Hops(a, b int) int {
 	if a == b {
 		return 0
 	}
-	switch d.Kind {
-	case Ring:
-		fwd := (b - a + d.Size) % d.Size
-		bwd := (a - b + d.Size) % d.Size
-		if fwd < bwd {
-			return fwd
-		}
-		return bwd
-	case FullyConnected:
-		return 1
-	case Switch:
-		return 2 // NPU -> switch -> NPU
-	default:
-		return 1
-	}
+	return d.Kind.Hops(a, b, d.Size)
 }
 
 // Steps returns the number of communication steps the block's topology-aware
@@ -115,41 +56,62 @@ func (d Dim) Steps() int {
 	if d.Size <= 1 {
 		return 0
 	}
-	switch d.Kind {
-	case Ring:
-		return d.Size - 1
-	case FullyConnected:
-		return 1
-	case Switch:
-		return ceilLog2(d.Size)
-	default:
-		return d.Size - 1
-	}
+	return d.Kind.Steps(d.Size)
 }
 
-func ceilLog2(n int) int {
-	s, v := 0, 1
-	for v < n {
-		v <<= 1
-		s++
-	}
-	return s
+// EffectiveBandwidth is the bandwidth the block actually delivers per NPU
+// after any model-level derating (e.g. switch oversubscription).
+func (d Dim) EffectiveBandwidth() units.Bandwidth {
+	return d.Kind.EffectiveBandwidth(d.Bandwidth, d.Size)
 }
+
+// TransferTime is the serialization time of size bytes at the dimension's
+// effective bandwidth.
+func (d Dim) TransferTime(size units.ByteSize) units.Time {
+	return d.EffectiveBandwidth().TransferTime(size)
+}
+
+// PhaseLatency is the latency component of one collective phase over k
+// members of this dimension.
+func (d Dim) PhaseLatency(k int) units.Time {
+	if k <= 1 {
+		return 0
+	}
+	return d.Kind.PhaseLatency(k, d.Latency)
+}
+
+// PhaseTraffic is the per-NPU sent+received bytes of one collective phase
+// with per-NPU input size dataSize over k members of this dimension.
+func (d Dim) PhaseTraffic(op PhaseKind, dataSize units.ByteSize, k int) units.ByteSize {
+	return d.Kind.PhaseTraffic(op, dataSize, k)
+}
+
+// Format renders the dimension in shape notation, e.g. "R(8)" or "T2D(4,2)".
+func (d Dim) Format() string { return d.Kind.Format(d.Size) }
 
 // Topology is an ordered stack of dimensions; Dim 1 is index 0.
 type Topology struct {
 	Dims []Dim
 }
 
-// New validates and constructs a topology from its dimensions.
+// New validates and constructs a topology from its dimensions. Every
+// dimension must carry a registered block model; nil or invalid blocks are
+// construction-time errors (there is no default block).
 func New(dims ...Dim) (*Topology, error) {
 	if len(dims) == 0 {
 		return nil, fmt.Errorf("topology: at least one dimension required")
 	}
 	total := 1
 	for i, d := range dims {
+		if d.Kind == nil {
+			return nil, fmt.Errorf("topology: dim %d has no building-block model (registered: %s)",
+				i+1, strings.Join(RegisteredBlocks(), ", "))
+		}
 		if d.Size < 2 {
 			return nil, fmt.Errorf("topology: dim %d size %d; building blocks need k >= 2", i+1, d.Size)
+		}
+		if err := d.Kind.Validate(d.Size); err != nil {
+			return nil, fmt.Errorf("topology: dim %d %s: %w", i+1, d.Kind.LongName(), err)
 		}
 		if d.Bandwidth < 0 {
 			return nil, fmt.Errorf("topology: dim %d has negative bandwidth", i+1)
@@ -196,11 +158,12 @@ func (t *Topology) Shape() []int {
 	return s
 }
 
-// String returns the paper's shape notation, e.g. "R(4)_FC(2)_SW(2)".
+// String returns the paper's shape notation, e.g. "R(4)_FC(2)_SW(2)" or
+// "T2D(4,4)_SW(8,2)".
 func (t *Topology) String() string {
 	parts := make([]string, len(t.Dims))
 	for i, d := range t.Dims {
-		parts[i] = fmt.Sprintf("%s(%d)", d.Kind, d.Size)
+		parts[i] = d.Format()
 	}
 	return strings.Join(parts, "_")
 }
@@ -262,12 +225,13 @@ func (t *Topology) Hops(src, dst int) int {
 	return hops
 }
 
-// AggregateBandwidth returns the total per-NPU network bandwidth summed
-// over all dimensions, the paper's "BW/NPU" figure of merit.
+// AggregateBandwidth returns the total effective per-NPU network bandwidth
+// summed over all dimensions, the paper's "BW/NPU" figure of merit.
+// Oversubscribed blocks contribute their derated bandwidth.
 func (t *Topology) AggregateBandwidth() units.Bandwidth {
 	var bw units.Bandwidth
 	for _, d := range t.Dims {
-		bw += d.Bandwidth
+		bw += d.EffectiveBandwidth()
 	}
 	return bw
 }

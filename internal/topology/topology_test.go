@@ -101,19 +101,80 @@ func TestCoordRankRoundTrip(t *testing.T) {
 	}
 }
 
+// randomDim draws a valid dimension using any of the registered building
+// blocks (parameterized blocks get matching sizes).
+func randomDim(rng *rand.Rand) Dim {
+	switch rng.Intn(6) {
+	case 0:
+		return Dim{Kind: Ring, Size: rng.Intn(7) + 2}
+	case 1:
+		return Dim{Kind: FullyConnected, Size: rng.Intn(7) + 2}
+	case 2:
+		return Dim{Kind: Switch, Size: rng.Intn(7) + 2}
+	case 3:
+		return Dim{Kind: Mesh, Size: rng.Intn(7) + 2}
+	case 4:
+		a, b := rng.Intn(3)+2, rng.Intn(3)+2
+		return Dim{Kind: Torus2D(a, b), Size: a * b}
+	default:
+		return Dim{Kind: OversubscribedSwitch(rng.Intn(4) + 1), Size: rng.Intn(7) + 2}
+	}
+}
+
 func TestCoordRankProperty(t *testing.T) {
 	f := func(seed int64) bool {
 		rng := rand.New(rand.NewSource(seed))
 		nd := rng.Intn(4) + 1
 		dims := make([]Dim, nd)
 		for i := range dims {
-			dims[i] = Dim{Kind: BlockKind(rng.Intn(3)), Size: rng.Intn(7) + 2}
+			dims[i] = randomDim(rng)
 		}
 		top := MustNew(dims...)
 		rank := rng.Intn(top.NumNPUs())
 		return top.Rank(top.Coord(rank)) == rank
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestDimGroupMembershipProperty: for random topologies over all registered
+// blocks, every rank's dim-group contains the rank, has exactly the
+// dimension's size members, and all members share every other coordinate.
+func TestDimGroupMembershipProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		nd := rng.Intn(3) + 1
+		dims := make([]Dim, nd)
+		for i := range dims {
+			dims[i] = randomDim(rng)
+		}
+		top := MustNew(dims...)
+		rank := rng.Intn(top.NumNPUs())
+		dim := rng.Intn(top.NumDims())
+		group := top.DimGroup(rank, dim)
+		if len(group) != top.Dims[dim].Size {
+			return false
+		}
+		self := false
+		rc := top.Coord(rank)
+		for i, m := range group {
+			if m == rank {
+				self = true
+			}
+			mc := top.Coord(m)
+			if mc[dim] != i { // ordered by position in the dimension
+				return false
+			}
+			for d := range mc {
+				if d != dim && mc[d] != rc[d] {
+					return false
+				}
+			}
+		}
+		return self
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
 		t.Error(err)
 	}
 }
