@@ -210,6 +210,12 @@ func buildMemory(cfg MachineConfig) (memory.System, error) {
 	return sys, nil
 }
 
+// RegisteredBlocks lists the shape-notation names of every registered
+// topology building block, sorted — the vocabulary MachineConfig.Topology
+// accepts. External DimModel registrations appear here too, so CLI help
+// and error messages never hard-code the block set.
+func RegisteredBlocks() []string { return topology.RegisteredBlocks() }
+
 // NumNPUs returns the machine size.
 func (m *Machine) NumNPUs() int { return m.top.NumNPUs() }
 
@@ -246,24 +252,33 @@ func AllReduce(sizeBytes int64) Workload {
 	}
 }
 
+// collectiveOp resolves a collective name — the single source of truth
+// for the op vocabulary shared by workload construction, the estimator
+// and search proxy validation.
+func collectiveOp(op string) (et.CollectiveType, collective.Op, error) {
+	switch op {
+	case "all_reduce":
+		return et.CollAllReduce, collective.AllReduce, nil
+	case "all_gather":
+		return et.CollAllGather, collective.AllGather, nil
+	case "reduce_scatter":
+		return et.CollReduceScatter, collective.ReduceScatter, nil
+	case "all_to_all":
+		return et.CollAllToAll, collective.AllToAll, nil
+	default:
+		return "", 0, fmt.Errorf("astrasim: unknown collective %q", op)
+	}
+}
+
 // Collective is a single whole-machine collective: op is one of
 // "all_reduce", "all_gather", "reduce_scatter", "all_to_all".
 func Collective(op string, sizeBytes int64) Workload {
 	return workloadFunc{
 		name: fmt.Sprintf("%s(%d)", op, sizeBytes),
 		fn: func(top *topology.Topology) (*et.Trace, error) {
-			var c et.CollectiveType
-			switch op {
-			case "all_reduce":
-				c = et.CollAllReduce
-			case "all_gather":
-				c = et.CollAllGather
-			case "reduce_scatter":
-				c = et.CollReduceScatter
-			case "all_to_all":
-				c = et.CollAllToAll
-			default:
-				return nil, fmt.Errorf("astrasim: unknown collective %q", op)
+			c, _, err := collectiveOp(op)
+			if err != nil {
+				return nil, err
 			}
 			return etgen.SingleCollective(top, c, units.ByteSize(sizeBytes)), nil
 		},
@@ -478,18 +493,9 @@ func (m *Machine) run(w Workload, timeline bool) (*Report, *core.RunStats, error
 // whole-machine collective without event simulation — the first-order
 // design-space-exploration path.
 func (m *Machine) EstimateCollective(op string, sizeBytes int64) (time.Duration, error) {
-	var o collective.Op
-	switch op {
-	case "all_reduce":
-		o = collective.AllReduce
-	case "all_gather":
-		o = collective.AllGather
-	case "reduce_scatter":
-		o = collective.ReduceScatter
-	case "all_to_all":
-		o = collective.AllToAll
-	default:
-		return 0, fmt.Errorf("astrasim: unknown collective %q", op)
+	_, o, err := collectiveOp(op)
+	if err != nil {
+		return 0, err
 	}
 	chunks := m.core.Chunks
 	if chunks == 0 {

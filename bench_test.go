@@ -155,6 +155,86 @@ func BenchmarkSweepSerial(b *testing.B) { benchSweepWorkers(b, 1) }
 
 func BenchmarkSweepParallel(b *testing.B) { benchSweepWorkers(b, 0) } // all cores
 
+// --- Search engine: fidelity-gated search vs exhaustive sweep ---
+
+// BenchmarkSearchVsSweep measures the multi-fidelity payoff on a 24-point
+// machine space (6 fabric shapes x 4 bandwidth provisions, one 256 MB
+// All-Reduce): the exhaustive strategy event-simulates every candidate,
+// the halving strategy estimate-screens the space and simulates the top
+// quartile. After both sub-benchmarks run it writes BENCH_search.json
+// with wall time, evaluation counts and the fidelity-gated speedup, and
+// fails if the budgeted search misses the exhaustive optimum.
+func BenchmarkSearchVsSweep(b *testing.B) {
+	spec := func(strategy string) SearchSpec {
+		return SearchSpec{
+			Name:       "bench-search",
+			Strategy:   strategy,
+			Seed:       1,
+			Topologies: []string{"R(64)", "SW(64)", "M(64)", "FC(64)", "T2D(8,8)", "SW(64,4)"},
+			Bandwidths: [][]float64{{50}, {100}, {200}, {400}},
+			Workloads:  []WorkloadSpec{{Kind: "all_reduce", SizeBytes: 256 << 20}},
+		}
+	}
+	type record struct {
+		Strategy    string  `json:"strategy"`
+		Space       int     `json:"space"`
+		Estimates   int     `json:"estimates"`
+		Simulations int     `json:"simulations"`
+		NsPerOp     float64 `json:"ns_per_op"`
+		Best        string  `json:"best"`
+	}
+	records := make([]record, 2)
+	for si, strategy := range []string{"exhaustive", "halving"} {
+		b.Run(strategy, func(b *testing.B) {
+			var res *SearchResult
+			start := time.Now()
+			for i := 0; i < b.N; i++ {
+				var err error
+				res, err = Optimize(spec(strategy), SearchOptions{})
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(res.Simulations), "sims")
+			records[si] = record{
+				Strategy:    strategy,
+				Space:       res.Feasible,
+				Estimates:   res.Estimates,
+				Simulations: res.Simulations,
+				NsPerOp:     float64(time.Since(start).Nanoseconds()) / float64(b.N),
+				Best:        res.Best.Machine,
+			}
+		})
+	}
+	// Sub-benchmarks can be filtered away; only write the artifact (and
+	// judge recovery) when both strategies actually ran.
+	for _, r := range records {
+		if r.Strategy == "" {
+			return
+		}
+	}
+	if records[0].Best != records[1].Best {
+		b.Fatalf("halving best %q != exhaustive best %q", records[1].Best, records[0].Best)
+	}
+	doc, err := json.MarshalIndent(struct {
+		Workload  string   `json:"workload"`
+		Records   []record `json:"records"`
+		Speedup   float64  `json:"speedup"`
+		Recovered bool     `json:"recovered"`
+	}{
+		Workload:  "all_reduce(256MB)",
+		Records:   records,
+		Speedup:   records[0].NsPerOp / records[1].NsPerOp,
+		Recovered: true,
+	}, "", "  ")
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := os.WriteFile("BENCH_search.json", append(doc, '\n'), 0o644); err != nil {
+		b.Fatal(err)
+	}
+}
+
 // --- Ablations for DESIGN.md's modeling choices ---
 
 // BenchmarkAblationChunks quantifies chunk-pipelining depth: collective

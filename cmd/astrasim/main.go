@@ -28,6 +28,25 @@
 //	  "workloads": [{"kind": "all_reduce", "size_bytes": 1073741824},
 //	                {"kind": "gpt3"}]
 //	}
+//
+// With -optimize it runs a budgeted multi-fidelity design-space search: a
+// declarative candidate space (explicit machines and/or a topologies x
+// bandwidths cross product) is screened with the closed-form collective
+// estimator and only strategy-promoted survivors run the full event
+// engine. Same determinism guarantee: a fixed seed gives an identical
+// winner and history at any -parallel value.
+//
+//	astrasim -optimize space.json -parallel 8
+//
+// where space.json looks like
+//
+//	{
+//	  "name": "fabric-hunt",
+//	  "strategy": "halving",
+//	  "topologies": ["T2D(16,32)", "R(16)_R(32)", "SW(16)_SW(32,2)"],
+//	  "bandwidths": [[500], [250, 250]],
+//	  "workloads": [{"kind": "gpt3"}]
+//	}
 package main
 
 import (
@@ -44,7 +63,7 @@ import (
 func main() {
 	var (
 		configPath = flag.String("config", "", "machine config JSON file (astrasim.MachineConfig)")
-		topo       = flag.String("topology", "", "topology shape, e.g. R(2)_FC(8)_R(8)_SW(4), T2D(4,4)_SW(8,2), M(8)_SW(4)")
+		topo       = flag.String("topology", "", "topology shape, e.g. R(2)_FC(8)_R(8)_SW(4), T2D(4,4)_SW(8,2); registered blocks: "+strings.Join(astrasim.RegisteredBlocks(), ", "))
 		bw         = flag.String("bw", "", "per-dimension bandwidths in GB/s, comma separated")
 		scheduler  = flag.String("scheduler", "", "collective scheduler: baseline or themis (default: config file or baseline)")
 		tflops     = flag.Float64("tflops", 0, "NPU peak TFLOPS (default: config file or 234)")
@@ -55,13 +74,20 @@ func main() {
 		jsonOut    = flag.Bool("json", false, "print the report (or sweep result) as JSON")
 		timeline   = flag.String("timeline", "", "write a Chrome-trace timeline (chrome://tracing) to this file")
 		sweepPath  = flag.String("sweep", "", "run a machine x workload sweep grid from this JSON spec instead of a single simulation")
-		parallel   = flag.Int("parallel", 0, "sweep worker count; 0 = all cores (results identical for any value)")
-		csvOut     = flag.Bool("csv", false, "print the sweep result as CSV")
+		optPath    = flag.String("optimize", "", "run a budgeted design-space search from this JSON spec (astrasim.SearchSpec; strategies: "+strings.Join(astrasim.SearchStrategies(), ", ")+")")
+		parallel   = flag.Int("parallel", 0, "sweep/search worker count; 0 = all cores (results identical for any value)")
+		csvOut     = flag.Bool("csv", false, "print the sweep or search result as CSV")
 	)
 	flag.Parse()
 
 	if *sweepPath != "" {
 		if err := runSweep(*sweepPath, *parallel, *jsonOut, *csvOut); err != nil {
+			fatal(err)
+		}
+		return
+	}
+	if *optPath != "" {
+		if err := runOptimize(*optPath, *parallel, *jsonOut, *csvOut); err != nil {
 			fatal(err)
 		}
 		return
@@ -154,6 +180,34 @@ func runSweep(path string, workers int, jsonOut, csvOut bool) error {
 		Workers:  workers,
 		Progress: astrasim.ProgressLine(os.Stderr),
 	})
+	if err != nil {
+		return err
+	}
+	switch {
+	case jsonOut:
+		return res.WriteJSON(os.Stdout)
+	case csvOut:
+		return res.WriteCSV(os.Stdout)
+	default:
+		return res.WriteTable(os.Stdout)
+	}
+}
+
+func runOptimize(path string, workers int, jsonOut, csvOut bool) error {
+	// The search-wide total grows as the strategy commits to new rungs,
+	// so done == total mid-run does not mean finished; the in-place
+	// counter line is only terminated once the search returns.
+	progressed := false
+	res, err := astrasim.RunSearchFile(path, astrasim.SearchOptions{
+		Workers: workers,
+		Progress: func(done, total int) {
+			progressed = true
+			fmt.Fprintf(os.Stderr, "\rsearch: %d/%d evaluations", done, total)
+		},
+	})
+	if progressed {
+		fmt.Fprintln(os.Stderr)
+	}
 	if err != nil {
 		return err
 	}

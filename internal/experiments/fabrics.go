@@ -42,18 +42,22 @@ func fabricSpecs() []fabricSpec {
 	}
 }
 
-// FabricSystems returns the six comparison fabrics, built from shape
-// notation through the model registry (the same path cmd/astrasim users
-// take).
+// buildFabric constructs one fabric from shape notation through the model
+// registry (the same path cmd/astrasim users take).
+func buildFabric(s fabricSpec) System {
+	top, err := topology.ParseWithBandwidth(s.topo, s.bw, hopLatency)
+	if err != nil {
+		panic("experiments: " + err.Error())
+	}
+	return System{Name: s.name, Top: top}
+}
+
+// FabricSystems returns the six comparison fabrics.
 func FabricSystems() []System {
 	specs := fabricSpecs()
 	out := make([]System, 0, len(specs))
 	for _, s := range specs {
-		top, err := topology.ParseWithBandwidth(s.topo, s.bw, hopLatency)
-		if err != nil {
-			panic("experiments: " + err.Error())
-		}
-		out = append(out, System{Name: s.name, Top: top})
+		out = append(out, buildFabric(s))
 	}
 	return out
 }

@@ -1,0 +1,78 @@
+package search
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// WriteJSON writes the result as an indented JSON document. The output is
+// byte-identical for any worker count (wall time is excluded).
+func (r *Result) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// WriteCSV writes the full history flat — one record per evaluation —
+// followed by nothing else, so downstream tooling can reconstruct every
+// rung. Deterministic for a given result.
+func (r *Result) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"generation", "fidelity", "candidate", "label", "score", "promoted"}); err != nil {
+		return err
+	}
+	for _, g := range r.History {
+		for _, e := range g.Evals {
+			rec := []string{
+				strconv.Itoa(g.Index),
+				g.Fidelity,
+				strconv.Itoa(e.Candidate),
+				e.Label,
+				strconv.FormatFloat(e.Score, 'g', -1, 64),
+				strconv.FormatBool(e.Promoted),
+			}
+			if err := cw.Write(rec); err != nil {
+				return err
+			}
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteTable writes a human-readable run summary: the rung structure, the
+// evaluation counts against the space size, and the winner.
+func (r *Result) WriteTable(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "search %s: strategy=%s seed=%d space=%d feasible=%d\n",
+		r.Problem, r.Strategy, r.Seed, r.Candidates, r.Feasible); err != nil {
+		return err
+	}
+	for _, g := range r.History {
+		promoted := 0
+		for _, e := range g.Evals {
+			if e.Promoted {
+				promoted++
+			}
+		}
+		line := fmt.Sprintf("  rung %d: %-8s %3d candidates", g.Index, g.Fidelity, len(g.Evals))
+		if promoted > 0 {
+			line += fmt.Sprintf(", %d promoted", promoted)
+		}
+		if _, err := fmt.Fprintln(w, line); err != nil {
+			return err
+		}
+	}
+	frac := 0.0
+	if r.Feasible > 0 {
+		frac = 100 * float64(r.Simulations) / float64(r.Feasible)
+	}
+	if _, err := fmt.Fprintf(w, "  simulated %d/%d candidates (%.0f%%), %d estimates, %d pruned\n",
+		r.Simulations, r.Feasible, frac, r.Estimates, len(r.PrunedCandidates)); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w, "  best: %s (score %g)\n", r.Best.Label, r.Best.Score)
+	return err
+}

@@ -1,0 +1,502 @@
+package astrasim
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/search"
+	"repro/internal/sweep"
+)
+
+// This file is the design-space optimization facade: a declarative search
+// over candidate machines x workloads that finds the best design under a
+// simulation budget. It is the public face of internal/search — the
+// multi-fidelity engine that screens candidates with the closed-form
+// collective estimator and promotes only the survivors to full
+// event-engine simulation, all through the sweep worker pool with
+// deterministic, worker-count-independent results.
+
+// SearchSpec is a declarative design-space search: candidate machines (an
+// explicit list, a topologies x bandwidths cross product, or both), the
+// workloads to optimize over, and the strategy plus its budget. The
+// candidate space is the machines x workloads cross product; the
+// objective is minimized over it.
+type SearchSpec struct {
+	Name string `json:"name,omitempty"`
+	// Strategy selects the optimizer: exhaustive | random | halving
+	// (default halving — estimate-screen everything, simulate the top
+	// 1/eta survivors).
+	Strategy string `json:"strategy,omitempty"`
+	// Seed drives every stochastic choice; results are fully reproducible
+	// for a fixed seed at any worker count.
+	Seed int64 `json:"seed,omitempty"`
+	// MaxSimulations bounds full event-engine runs; 0 means
+	// ceil(feasible/eta) — with multiple workloads (and no explicit
+	// Population), rounded so whole machines are promoted: the screening
+	// estimate is machine-level, so a budget cutting through a machine's
+	// workload block would select workloads by candidate order, not
+	// merit. Exhaustive ignores it.
+	MaxSimulations int `json:"max_simulations,omitempty"`
+	// Population is the random strategy's sample size (0 = eta *
+	// MaxSimulations).
+	Population int `json:"population,omitempty"`
+	// Eta is the promotion ratio (default 4).
+	Eta int `json:"eta,omitempty"`
+	// Objective selects what to minimize: "makespan" (default) or "comm"
+	// (exposed communication time).
+	Objective string `json:"objective,omitempty"`
+	// MaxAggregateGBps, when > 0, prunes machines whose configured
+	// per-NPU network bandwidth (the sum of BandwidthsGBps — what the
+	// fabric provisions, before oversubscription or embedding derating)
+	// exceeds the budget — search under a cost cap.
+	MaxAggregateGBps float64 `json:"max_aggregate_gbps,omitempty"`
+	// ProxyOp and ProxySizeBytes configure the closed-form screening
+	// estimate (default: a 1 GiB all_reduce).
+	ProxyOp        string `json:"proxy_op,omitempty"`
+	ProxySizeBytes int64  `json:"proxy_size_bytes,omitempty"`
+
+	// Base seeds every generated machine's non-topology fields (scheduler,
+	// TFLOPS, chunks, memory); Topology and BandwidthsGBps are overridden
+	// per candidate.
+	Base MachineConfig `json:"base,omitempty"`
+	// Machines are explicit candidates, evaluated before the generated
+	// ones.
+	Machines []SweepMachine `json:"machines,omitempty"`
+	// Topologies x Bandwidths generates candidates: every shape notation
+	// paired with every per-dimension bandwidth vector. Pairs whose vector
+	// length does not match the topology's dimension count are infeasible
+	// and recorded as pruned, not errors — heterogeneous spaces are the
+	// point.
+	Topologies []string    `json:"topologies,omitempty"`
+	Bandwidths [][]float64 `json:"bandwidths,omitempty"`
+
+	// Workloads to optimize over; each machine candidate is paired with
+	// each workload.
+	Workloads []WorkloadSpec `json:"workloads"`
+}
+
+// LoadSearchSpec reads a SearchSpec JSON document, rejecting unknown
+// fields so spec typos fail loudly.
+func LoadSearchSpec(r io.Reader) (SearchSpec, error) {
+	var s SearchSpec
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&s); err != nil {
+		return s, fmt.Errorf("astrasim: parse search spec: %w", err)
+	}
+	return s, nil
+}
+
+// SearchOptions controls search execution.
+type SearchOptions struct {
+	// Workers is the parallel worker count; <= 0 means GOMAXPROCS.
+	// Results are identical for any value.
+	Workers int
+	// Progress, when non-nil, is called as evaluations complete (per
+	// evaluation batch).
+	Progress func(done, total int)
+}
+
+// RunSearchFile loads a search spec from a JSON file and optimizes it —
+// the shared entry point of the CLIs' -optimize flag.
+func RunSearchFile(path string, opt SearchOptions) (*SearchResult, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	spec, err := LoadSearchSpec(f)
+	if err != nil {
+		return nil, err
+	}
+	return Optimize(spec, opt)
+}
+
+// SearchEval is one scored (machine, workload) candidate.
+type SearchEval struct {
+	Machine  string `json:"machine"`
+	Workload string `json:"workload"`
+	// Score is the fidelity's value as a duration: the closed-form proxy
+	// estimate on screening rungs, the simulated objective on full rungs.
+	Score time.Duration `json:"score_ns"`
+	// Promoted marks candidates advanced to the next rung.
+	Promoted bool `json:"promoted,omitempty"`
+}
+
+// SearchGeneration is one rung of the search history.
+type SearchGeneration struct {
+	Index    int          `json:"index"`
+	Fidelity string       `json:"fidelity"`
+	Evals    []SearchEval `json:"evals"`
+}
+
+// SearchPruned records one infeasible candidate.
+type SearchPruned struct {
+	Machine  string `json:"machine"`
+	Workload string `json:"workload"`
+	Reason   string `json:"reason"`
+}
+
+// SearchResult holds a completed search. Everything but Wall is
+// deterministic for a fixed spec: identical winner and history at any
+// worker count (Wall is therefore excluded from the JSON form).
+type SearchResult struct {
+	Name       string `json:"name,omitempty"`
+	Strategy   string `json:"strategy"`
+	Seed       int64  `json:"seed"`
+	Objective  string `json:"objective"`
+	Candidates int    `json:"candidates"`
+	Feasible   int    `json:"feasible"`
+	// Estimates and Simulations count candidate evaluations at each
+	// fidelity; Simulations/Feasible is the fraction of the space that ran
+	// the full event engine.
+	Estimates   int `json:"estimates"`
+	Simulations int `json:"simulations"`
+	// Best is the winner: the lowest full-fidelity objective.
+	Best    SearchEval         `json:"best"`
+	History []SearchGeneration `json:"history"`
+	Pruned  []SearchPruned     `json:"pruned,omitempty"`
+	// Wall is the search's wall-clock duration.
+	Wall time.Duration `json:"-"`
+}
+
+// SearchStrategies lists the registered strategy names, sorted — for CLI
+// help and validation.
+func SearchStrategies() []string { return search.Strategies() }
+
+// searchCandidates is the enumerated machine axis of a search space.
+type searchCandidates struct {
+	names   []string
+	mach    []*Machine // nil when infeasible
+	reasons []string   // non-empty when infeasible
+	fps     []string   // canonical config JSON
+}
+
+// buildSearchMachines enumerates explicit then generated machine
+// candidates, building each up front; construction failures become
+// pruning reasons rather than errors so heterogeneous topology x
+// bandwidth grids work naturally.
+func buildSearchMachines(spec SearchSpec) (*searchCandidates, error) {
+	type cand struct {
+		name string
+		cfg  MachineConfig
+	}
+	var cands []cand
+	for _, sm := range spec.Machines {
+		cands = append(cands, cand{name: sm.Name, cfg: sm.Config})
+	}
+	for _, topo := range spec.Topologies {
+		for _, bw := range spec.Bandwidths {
+			cfg := spec.Base
+			cfg.Topology = topo
+			cfg.BandwidthsGBps = bw
+			parts := make([]string, len(bw))
+			for i, v := range bw {
+				parts[i] = sweep.FormatFloat(v)
+			}
+			name := fmt.Sprintf("%s @ %s GB/s", topo, strings.Join(parts, ","))
+			cands = append(cands, cand{name: name, cfg: cfg})
+		}
+	}
+	if len(cands) == 0 {
+		return nil, fmt.Errorf("astrasim: search %q has no machine candidates", spec.Name)
+	}
+	out := &searchCandidates{
+		names:   make([]string, len(cands)),
+		mach:    make([]*Machine, len(cands)),
+		reasons: make([]string, len(cands)),
+		fps:     make([]string, len(cands)),
+	}
+	for i, c := range cands {
+		cfgJSON, err := json.Marshal(c.cfg)
+		if err != nil {
+			return nil, err
+		}
+		out.fps[i] = string(cfgJSON)
+		// The cost cap depends only on the configured bandwidths; apply it
+		// before paying for machine construction.
+		if spec.MaxAggregateGBps > 0 {
+			var provisioned float64
+			for _, v := range c.cfg.BandwidthsGBps {
+				provisioned += v
+			}
+			if provisioned > spec.MaxAggregateGBps {
+				out.names[i] = c.name
+				if out.names[i] == "" {
+					out.names[i] = c.cfg.Topology
+				}
+				out.reasons[i] = fmt.Sprintf("configured bandwidth %g GB/s exceeds budget %g GB/s",
+					provisioned, spec.MaxAggregateGBps)
+				continue
+			}
+		}
+		m, err := NewMachine(c.cfg)
+		name := c.name
+		if err != nil {
+			if name == "" {
+				name = c.cfg.Topology
+			}
+			out.names[i] = name
+			out.reasons[i] = err.Error()
+			continue
+		}
+		if name == "" {
+			name = m.TopologySpec()
+		}
+		out.names[i] = name
+		out.mach[i] = m
+	}
+	return out, nil
+}
+
+// searchObjective maps the spec's objective name to a report metric.
+func searchObjective(name string) (string, func(*Report) time.Duration, error) {
+	switch name {
+	case "", "makespan":
+		return "makespan", func(r *Report) time.Duration { return r.Makespan }, nil
+	case "comm", "exposed_comm":
+		return "comm", func(r *Report) time.Duration { return r.ExposedComm }, nil
+	default:
+		return "", nil, fmt.Errorf("astrasim: unknown objective %q (want makespan or comm)", name)
+	}
+}
+
+// Optimize searches the spec's machine x workload space for the candidate
+// minimizing the objective. Candidates are screened with the closed-form
+// collective estimator; only strategy-promoted survivors run the full
+// event engine. The result is byte-identical for any worker count.
+func Optimize(spec SearchSpec, opt SearchOptions) (*SearchResult, error) {
+	if len(spec.Workloads) == 0 {
+		return nil, fmt.Errorf("astrasim: search %q has no workloads", spec.Name)
+	}
+	machines, err := buildSearchMachines(spec)
+	if err != nil {
+		return nil, err
+	}
+	name := spec.Name
+	if name == "" {
+		name = "search"
+	}
+	nW := len(spec.Workloads)
+	workloadNames, workloadFPs, err := workloadTable(spec.Workloads)
+	if err != nil {
+		return nil, fmt.Errorf("astrasim: search %s: %w", name, err)
+	}
+	objName, objFn, err := searchObjective(spec.Objective)
+	if err != nil {
+		return nil, err
+	}
+	proxyOp := spec.ProxyOp
+	if proxyOp == "" {
+		proxyOp = "all_reduce"
+	}
+	if _, _, err := collectiveOp(proxyOp); err != nil {
+		return nil, fmt.Errorf("astrasim: proxy op: %w", err)
+	}
+	proxySize := spec.ProxySizeBytes
+	if proxySize == 0 {
+		proxySize = 1 << 30
+	}
+
+	strat, err := search.StrategyFor(spec.Strategy)
+	if err != nil {
+		return nil, err
+	}
+	// The screening estimate is machine-level: every workload paired with
+	// one machine ties, and ties rank by candidate id. With multiple
+	// workloads the default budget therefore promotes whole machines —
+	// ceil(feasibleMachines/eta) of them, all pairs — so no workload is
+	// dropped by id order. An explicit MaxSimulations is respected as-is,
+	// and Population only affects the random strategy, whose explicit
+	// sample keeps its own derived budget (ceil(Population/Eta)).
+	maxSims := spec.MaxSimulations
+	if maxSims <= 0 && nW > 1 && !(strat.Name() == "random" && spec.Population > 0) {
+		eta := spec.Eta
+		if eta <= 0 {
+			eta = 4
+		}
+		feasibleMachines := 0
+		for _, r := range machines.reasons {
+			if r == "" {
+				feasibleMachines++
+			}
+		}
+		if feasibleMachines > 0 {
+			maxSims = (feasibleMachines + eta - 1) / eta * nW
+		}
+	}
+	// Candidate id = machine-major (workload fastest), matching the sweep
+	// engine's row-major convention.
+	problem := search.Problem{
+		Name:       name,
+		Candidates: len(machines.names) * nW,
+		Label: func(i int) string {
+			return machines.names[i/nW] + " / " + workloadNames[i%nW]
+		},
+		Feasible: func(i int) error {
+			if r := machines.reasons[i/nW]; r != "" {
+				return fmt.Errorf("%s", r)
+			}
+			return nil
+		},
+		Estimate: func(i int) (float64, error) {
+			d, err := machines.mach[i/nW].EstimateCollective(proxyOp, proxySize)
+			return float64(d), err
+		},
+		Simulate: func(i int) (float64, error) {
+			// Each run materializes its own workload so trace readers and
+			// generators are never shared between goroutines.
+			w, err := spec.Workloads[i%nW].Workload()
+			if err != nil {
+				return 0, err
+			}
+			rep, err := machines.mach[i/nW].Run(w)
+			if err != nil {
+				return 0, err
+			}
+			return float64(objFn(rep)), nil
+		},
+		Fingerprint: func(i int, f search.Fidelity) string {
+			if f == search.FidelityEstimate {
+				// The estimate is machine-level: every workload paired with
+				// the same machine shares one closed-form evaluation.
+				return fmt.Sprintf("astrasim-search-est|%s|%d|%s", proxyOp, proxySize, machines.fps[i/nW])
+			}
+			return fmt.Sprintf("astrasim-search-sim|%s|%s|%s", objName, machines.fps[i/nW], workloadFPs[i%nW])
+		},
+	}
+	res, err := search.Optimize(problem, search.Options{
+		Strategy:       spec.Strategy,
+		Seed:           spec.Seed,
+		MaxSimulations: maxSims,
+		Population:     spec.Population,
+		Eta:            spec.Eta,
+		Exec: sweep.Exec{
+			Workers:  opt.Workers,
+			Cache:    sweep.NewCache(),
+			Progress: opt.Progress,
+		},
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	conv := func(e search.Eval) SearchEval {
+		return SearchEval{
+			Machine:  machines.names[e.Candidate/nW],
+			Workload: workloadNames[e.Candidate%nW],
+			Score:    time.Duration(e.Score),
+			Promoted: e.Promoted,
+		}
+	}
+	out := &SearchResult{
+		Name:        spec.Name,
+		Strategy:    res.Strategy,
+		Seed:        res.Seed,
+		Objective:   objName,
+		Candidates:  res.Candidates,
+		Feasible:    res.Feasible,
+		Estimates:   res.Estimates,
+		Simulations: res.Simulations,
+		Best:        conv(res.Best),
+		Wall:        res.Wall,
+	}
+	for _, g := range res.History {
+		gen := SearchGeneration{Index: g.Index, Fidelity: g.Fidelity}
+		for _, e := range g.Evals {
+			gen.Evals = append(gen.Evals, conv(e))
+		}
+		out.History = append(out.History, gen)
+	}
+	for _, p := range res.PrunedCandidates {
+		out.Pruned = append(out.Pruned, SearchPruned{
+			Machine:  machines.names[p.Candidate/nW],
+			Workload: workloadNames[p.Candidate%nW],
+			Reason:   p.Reason,
+		})
+	}
+	return out, nil
+}
+
+// WriteJSON writes the result as an indented JSON document — byte-
+// identical for any worker count.
+func (r *SearchResult) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// WriteCSV writes the full history flat: one record per evaluation, in
+// rung order. Deterministic for a given result.
+func (r *SearchResult) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"generation", "fidelity", "machine", "workload", "score_us", "promoted"}); err != nil {
+		return err
+	}
+	for _, g := range r.History {
+		for _, e := range g.Evals {
+			rec := []string{
+				strconv.Itoa(g.Index),
+				g.Fidelity,
+				e.Machine,
+				e.Workload,
+				strconv.FormatFloat(float64(e.Score)/float64(time.Microsecond), 'g', -1, 64),
+				strconv.FormatBool(e.Promoted),
+			}
+			if err := cw.Write(rec); err != nil {
+				return err
+			}
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteTable writes a human-readable run summary: rung structure, budget
+// accounting and the winner.
+func (r *SearchResult) WriteTable(w io.Writer) error {
+	name := r.Name
+	if name == "" {
+		name = "search"
+	}
+	if _, err := fmt.Fprintf(w, "search %s: strategy=%s objective=%s seed=%d\n",
+		name, r.Strategy, r.Objective, r.Seed); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "space: %d candidates (%d feasible, %d pruned)\n",
+		r.Candidates, r.Feasible, len(r.Pruned)); err != nil {
+		return err
+	}
+	for _, g := range r.History {
+		promoted := 0
+		for _, e := range g.Evals {
+			if e.Promoted {
+				promoted++
+			}
+		}
+		line := fmt.Sprintf("  rung %d: %-8s %3d candidates", g.Index, g.Fidelity, len(g.Evals))
+		if promoted > 0 {
+			line += fmt.Sprintf(", %d promoted", promoted)
+		}
+		if _, err := fmt.Fprintln(w, line); err != nil {
+			return err
+		}
+	}
+	frac := 0.0
+	if r.Feasible > 0 {
+		frac = 100 * float64(r.Simulations) / float64(r.Feasible)
+	}
+	if _, err := fmt.Fprintf(w, "simulated %d/%d candidates (%.0f%% of the feasible space) in %v\n",
+		r.Simulations, r.Feasible, frac, r.Wall.Round(time.Millisecond)); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w, "best: %s / %s  %s = %v\n",
+		r.Best.Machine, r.Best.Workload, r.Objective, r.Best.Score)
+	return err
+}

@@ -120,6 +120,27 @@ func (s WorkloadSpec) label() string {
 	return w.Name()
 }
 
+// workloadTable validates every workload spec up front (so grid errors
+// name the workload, not a mid-run cell) and returns the display names
+// and canonical JSON fingerprints sweeps and searches key their caches
+// on.
+func workloadTable(specs []WorkloadSpec) (names, fps []string, err error) {
+	names = make([]string, len(specs))
+	fps = make([]string, len(specs))
+	for i, ws := range specs {
+		if _, err := ws.Workload(); err != nil {
+			return nil, nil, fmt.Errorf("workload %d: %w", i, err)
+		}
+		names[i] = ws.label()
+		wsJSON, err := json.Marshal(ws)
+		if err != nil {
+			return nil, nil, err
+		}
+		fps[i] = string(wsJSON)
+	}
+	return names, fps, nil
+}
+
 // SweepMachine is one named machine of a sweep grid.
 type SweepMachine struct {
 	// Name labels the machine in results; it defaults to the topology
@@ -236,23 +257,13 @@ func RunSweep(spec SweepSpec, opt SweepOptions) (*SweepResult, error) {
 		}
 		machineFPs[i] = string(cfgJSON)
 	}
-	workloadNames := make([]string, len(spec.Workloads))
-	workloadFPs := make([]string, len(spec.Workloads))
-	for i, ws := range spec.Workloads {
-		if _, err := ws.Workload(); err != nil {
-			return nil, fmt.Errorf("astrasim: sweep workload %d: %w", i, err)
-		}
-		workloadNames[i] = ws.label()
-		wsJSON, err := json.Marshal(ws)
-		if err != nil {
-			return nil, err
-		}
-		workloadFPs[i] = string(wsJSON)
-	}
-
 	name := spec.Name
 	if name == "" {
 		name = "sweep"
+	}
+	workloadNames, workloadFPs, err := workloadTable(spec.Workloads)
+	if err != nil {
+		return nil, fmt.Errorf("astrasim: sweep %s: %w", name, err)
 	}
 	inner := sweep.Spec[*Report]{
 		Name: name,
