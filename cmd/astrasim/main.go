@@ -58,6 +58,7 @@ import (
 	"strings"
 
 	"repro"
+	"repro/internal/prof"
 )
 
 func main() {
@@ -77,8 +78,15 @@ func main() {
 		optPath    = flag.String("optimize", "", "run a budgeted design-space search from this JSON spec (astrasim.SearchSpec; strategies: "+strings.Join(astrasim.SearchStrategies(), ", ")+")")
 		parallel   = flag.Int("parallel", 0, "sweep/search worker count; 0 = all cores (results identical for any value)")
 		csvOut     = flag.Bool("csv", false, "print the sweep or search result as CSV")
+		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file (go tool pprof)")
+		memprofile = flag.String("memprofile", "", "write a heap allocation profile to this file at exit")
 	)
 	flag.Parse()
+
+	if err := prof.Start(*cpuprofile, *memprofile); err != nil {
+		fatal(err)
+	}
+	defer prof.Stop()
 
 	if *sweepPath != "" {
 		if err := runSweep(*sweepPath, *parallel, *jsonOut, *csvOut); err != nil {
@@ -264,5 +272,6 @@ func fmtFloats(fs []float64) string {
 
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, "astrasim:", err)
+	prof.Stop() // os.Exit skips defers; flush any active profile capture
 	os.Exit(1)
 }

@@ -36,6 +36,7 @@ import (
 	"repro"
 	"repro/internal/collective"
 	"repro/internal/experiments"
+	"repro/internal/prof"
 	"repro/internal/sweep"
 	"repro/internal/topology"
 	"repro/internal/units"
@@ -47,7 +48,14 @@ func main() {
 	parallel := flag.Int("parallel", 0, "sweep worker count; 0 = all cores (results identical for any value)")
 	jsonOut := flag.Bool("json", false, "emit results as JSON instead of tables")
 	sweepPath := flag.String("sweep", "", "run a user-defined machine x workload sweep grid (JSON spec; topology blocks: "+strings.Join(astrasim.RegisteredBlocks(), ", ")+") instead of a paper experiment")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file (go tool pprof)")
+	memprofile := flag.String("memprofile", "", "write a heap allocation profile to this file at exit")
 	flag.Parse()
+
+	if err := prof.Start(*cpuprofile, *memprofile); err != nil {
+		fatal(err)
+	}
+	defer prof.Stop()
 
 	if *sweepPath != "" {
 		if err := runUserSweep(*sweepPath, *parallel, *jsonOut); err != nil {
@@ -110,6 +118,7 @@ func runUserSweep(path string, workers int, jsonOut bool) error {
 
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, "paper:", err)
+	prof.Stop() // os.Exit skips defers; flush any active profile capture
 	os.Exit(1)
 }
 

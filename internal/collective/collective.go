@@ -101,6 +101,11 @@ type Engine struct {
 	// accumulators from it so concurrent collectives balance against each
 	// other, not just against the queue state at issue time.
 	projected [][]float64
+
+	// Planner scratch, reused across chunks (planning is synchronous).
+	identScratch []int
+	orderScratch []int
+	usedScratch  []bool
 }
 
 // Option configures an Engine.
@@ -122,9 +127,11 @@ func WithChunks(n int) Option {
 // NewEngine builds a collective engine over the given backend.
 func NewEngine(net *network.Backend, opts ...Option) *Engine {
 	e := &Engine{net: net, top: net.Topology(), policy: Baseline, chunks: 64}
-	e.projected = make([][]float64, e.top.NumNPUs())
+	n, d := e.top.NumNPUs(), e.top.NumDims()
+	e.projected = make([][]float64, n)
+	backing := make([]float64, n*d) // one allocation for all rows
 	for i := range e.projected {
-		e.projected[i] = make([]float64, e.top.NumDims())
+		e.projected[i] = backing[i*d : (i+1)*d : (i+1)*d]
 	}
 	for _, o := range opts {
 		o(e)
@@ -144,12 +151,20 @@ type phase struct {
 	op   Op  // ReduceScatter, AllGather, or AllToAll phase semantics
 }
 
-// chunkState tracks one chunk's progress through its phases.
+// chunkState tracks one chunk's progress through its phases. It doubles as
+// the chunk's timeline event (timeline.Actor): each phase completion
+// re-schedules the chunk itself, so a collective's whole chunk wave costs
+// one allocation per chunk, not one closure per phase hop.
 type chunkState struct {
 	size   units.ByteSize // current per-NPU data size D
 	done   int            // completed phases
-	phases []phase        // planned phase sequence
+	phases []phase        // planned phase sequence (shared across chunks when fixed)
+	eng    *Engine
+	run    *collectiveRun
 }
+
+// Act implements timeline.Actor: advance this chunk to its next phase.
+func (cs *chunkState) Act() { cs.eng.advance(cs.run, cs) }
 
 // collectiveRun is the in-flight state of one collective.
 type collectiveRun struct {
@@ -268,9 +283,20 @@ func (e *Engine) Start(op Op, size units.ByteSize, g Group, done func(Result)) e
 		run.chunks = int(startSize) // never create sub-byte chunks
 	}
 	run.pending = run.chunks
+	// Under the fixed scheduler every chunk follows the same phase order,
+	// so the whole wave shares one read-only plan; only Themis plans per
+	// chunk (its load accumulators evolve between chunks).
+	var shared []phase
+	if e.policy != Themis || op == AllToAll {
+		shared = e.basePlan(run)
+	}
 	for c := 0; c < run.chunks; c++ {
-		cs := &chunkState{size: e.chunkSize(startSize, run.chunks, c)}
-		e.planChunk(run, cs)
+		cs := &chunkState{size: e.chunkSize(startSize, run.chunks, c), eng: e, run: run}
+		if shared != nil {
+			cs.phases = shared
+		} else {
+			e.planChunk(run, cs)
+		}
 		e.advance(run, cs)
 	}
 	return nil
@@ -286,40 +312,45 @@ func (e *Engine) chunkSize(size units.ByteSize, chunks, idx int) units.ByteSize 
 	return base
 }
 
-// planChunk builds the chunk's phase plan. Baseline uses the fixed
-// multi-rail order (Reduce-Scatter ascending, All-Gather descending).
-// Themis chooses a per-chunk span permutation that balances projected load
-// across dimensions.
-func (e *Engine) planChunk(run *collectiveRun, cs *chunkState) {
-	all := make([]int, len(run.spans))
-	for i := range all {
-		all[i] = i
-	}
-	if e.policy != Themis {
-		switch run.op {
-		case ReduceScatter:
-			cs.phases = phasesFor(all, ReduceScatter, false)
-		case AllGather:
-			cs.phases = phasesFor(all, AllGather, true)
-		case AllToAll:
-			cs.phases = phasesFor(all, AllToAll, false)
-		case AllReduce:
-			rs := phasesFor(all, ReduceScatter, false)
-			ag := phasesFor(all, AllGather, true)
-			cs.phases = append(rs, ag...)
-		}
-		return
-	}
+// basePlan builds the fixed multi-rail phase order shared by every chunk:
+// Reduce-Scatter ascending (Dim 1 first), All-Gather descending. All-to-all
+// keeps D constant through every phase, so per-dim traffic is
+// ordering-invariant and the fixed ascending order applies under every
+// scheduler (per-chunk order shuffling would only roughen the pipeline).
+func (e *Engine) basePlan(run *collectiveRun) []phase {
+	all := e.spanIdentity(len(run.spans))
 	switch run.op {
+	case ReduceScatter:
+		return phasesFor(nil, all, ReduceScatter, false)
+	case AllGather:
+		return phasesFor(nil, all, AllGather, true)
 	case AllToAll:
-		// All-to-all keeps D constant through every phase, so per-dim
-		// traffic is ordering-invariant: there is nothing for Themis to
-		// balance, and per-chunk order shuffling only roughens the
-		// pipeline. Keep the fixed ascending order.
-		cs.phases = phasesFor(all, AllToAll, false)
+		return phasesFor(nil, all, AllToAll, false)
+	case AllReduce:
+		rs := phasesFor(make([]phase, 0, 2*len(all)), all, ReduceScatter, false)
+		return phasesFor(rs, all, AllGather, true)
+	}
+	panic("collective: unknown op in basePlan")
+}
+
+// spanIdentity returns the reusable identity span permutation [0..n).
+func (e *Engine) spanIdentity(n int) []int {
+	if cap(e.identScratch) < n {
+		e.identScratch = make([]int, n)
+		for i := range e.identScratch {
+			e.identScratch[i] = i
+		}
+	}
+	return e.identScratch[:n]
+}
+
+// planChunk builds a Themis chunk's phase plan: a per-chunk span
+// permutation that balances projected load across dimensions.
+func (e *Engine) planChunk(run *collectiveRun, cs *chunkState) {
+	switch run.op {
 	case ReduceScatter:
 		order := e.themisPlan(run, run.op, cs.size)
-		cs.phases = phasesFor(order, run.op, false)
+		cs.phases = phasesFor(nil, order, run.op, false)
 	case AllGather:
 		// All-Gather phase costs grow with position, so greedy assignment
 		// must fix the most expensive (last) position first. Planning the
@@ -331,19 +362,22 @@ func (e *Engine) planChunk(run *collectiveRun, cs *chunkState) {
 			final *= units.ByteSize(s.K)
 		}
 		order := reverseInts(e.themisPlan(run, ReduceScatter, final))
-		cs.phases = phasesFor(order, AllGather, false)
+		cs.phases = phasesFor(nil, order, AllGather, false)
 	case AllReduce:
 		// The Reduce-Scatter and All-Gather halves are planned
 		// independently: once every span has been reduce-scattered, each
 		// NPU holds a 1/N shard and the gather may traverse spans in any
 		// order, which roughly doubles the planner's balancing freedom.
 		// The All-Gather half regrows the chunk to cs.size, so its
-		// backward plan starts there.
-		rsOrder := e.themisPlan(run, ReduceScatter, cs.size)
+		// backward plan starts there. The planner's order scratch is
+		// consumed into the phase plan before the second planning call
+		// reuses it.
+		cs.phases = phasesFor(make([]phase, 0, 2*len(run.spans)),
+			e.themisPlan(run, ReduceScatter, cs.size), ReduceScatter, false)
 		agOrder := reverseInts(e.themisPlan(run, ReduceScatter, cs.size))
-		rs := phasesFor(rsOrder, ReduceScatter, false)
-		ag := phasesFor(agOrder, AllGather, false)
-		cs.phases = append(rs, ag...)
+		cs.phases = phasesFor(cs.phases, agOrder, AllGather, false)
+	default:
+		panic("collective: unexpected op in planChunk")
 	}
 }
 
@@ -364,8 +398,17 @@ func reverseInts(s []int) []int {
 // planned phase. The returned slice holds span indices.
 func (e *Engine) themisPlan(run *collectiveRun, op Op, chunkSize units.ByteSize) []int {
 	d := float64(chunkSize)
-	order := make([]int, 0, len(run.spans))
-	used := make([]bool, len(run.spans))
+	// Planning is synchronous, so the per-engine scratch is safe to reuse;
+	// callers copy the order into their phase plan before planning again.
+	if cap(e.orderScratch) < len(run.spans) {
+		e.orderScratch = make([]int, 0, len(run.spans))
+		e.usedScratch = make([]bool, len(run.spans))
+	}
+	order := e.orderScratch[:0]
+	used := e.usedScratch[:len(run.spans)]
+	for i := range used {
+		used[i] = false
+	}
 	for pos := 0; pos < len(run.spans); pos++ {
 		best, bestLoad := -1, 0.0
 		var bestCost float64
@@ -402,8 +445,12 @@ func (e *Engine) themisPlan(run *collectiveRun, op Op, chunkSize units.ByteSize)
 	return order
 }
 
-func phasesFor(spanIdx []int, op Op, descending bool) []phase {
-	out := make([]phase, 0, len(spanIdx))
+// phasesFor appends one phase per span index onto dst (which may be nil).
+func phasesFor(dst []phase, spanIdx []int, op Op, descending bool) []phase {
+	out := dst
+	if out == nil {
+		out = make([]phase, 0, len(spanIdx))
+	}
 	if descending {
 		for i := len(spanIdx) - 1; i >= 0; i-- {
 			out = append(out, phase{span: spanIdx[i], op: op})
@@ -434,9 +481,8 @@ func (e *Engine) advance(run *collectiveRun, cs *chunkState) {
 	cs.size = phaseOutput(ph.op, cs.size, sp.K)
 	cs.done++
 	completion := serEnd + dim.PhaseLatency(sp.K)
-	e.net.SimSchedule(completion-e.net.Now(), func() {
-		e.advance(run, cs)
-	})
+	// The chunk is its own timeline event: no closure per phase hop.
+	e.net.ScheduleActor(completion-e.net.Now(), cs)
 }
 
 func (e *Engine) finish(run *collectiveRun) {

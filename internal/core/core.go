@@ -261,15 +261,36 @@ func (s *Simulator) Run(trace *et.Trace) (*RunStats, error) {
 		s.remaining += st.pending
 	}
 
-	// Issue every initially ready node.
-	for _, st := range s.npus {
-		ids := make([]int, 0, len(st.indeg))
-		for id, deg := range st.indeg {
-			if deg == 0 {
-				ids = append(ids, id)
+	// Issue every initially ready node in ascending-ID order. The trace
+	// builders assign IDs in insertion order, so for every generated (and
+	// round-tripped) trace the node list already IS that order and no
+	// sort runs; externally authored traces with a shuffled node list
+	// fall back to sorting so their issue order — and therefore their
+	// simulated output — is independent of list order.
+	for rank, g := range graphs {
+		st := s.npus[rank]
+		ascending := true
+		for i := 1; i < len(g.Nodes); i++ {
+			if g.Nodes[i].ID < g.Nodes[i-1].ID {
+				ascending = false
+				break
 			}
 		}
-		sort.Ints(ids) // deterministic issue order
+		if ascending {
+			for _, n := range g.Nodes {
+				if st.indeg[n.ID] == 0 {
+					s.issue(st, n)
+				}
+			}
+			continue
+		}
+		ids := make([]int, 0, len(g.Nodes))
+		for _, n := range g.Nodes {
+			if st.indeg[n.ID] == 0 {
+				ids = append(ids, n.ID)
+			}
+		}
+		sort.Ints(ids)
 		for _, id := range ids {
 			s.issue(st, st.nodes[id])
 		}

@@ -1,0 +1,68 @@
+package network
+
+import (
+	"testing"
+
+	"repro/internal/timeline"
+	"repro/internal/topology"
+	"repro/internal/units"
+)
+
+func allocTestBackend(t testing.TB) (*timeline.Engine, *Backend) {
+	t.Helper()
+	top := topology.MustNew(
+		topology.Dim{Kind: topology.Ring, Size: 4, Bandwidth: units.GBps(100), Latency: 100 * units.Nanosecond},
+		topology.Dim{Kind: topology.Switch, Size: 4, Bandwidth: units.GBps(50), Latency: 500 * units.Nanosecond},
+	)
+	eng := timeline.New()
+	return eng, NewBackend(eng, top)
+}
+
+// Steady-state point-to-point traffic must not allocate: routes are derived
+// arithmetically, multi-leg sends and deliveries run through pooled typed
+// events, and the rendezvous queues recycle their slices. The only
+// allocations left on the path are the caller's own callback captures,
+// which this test hoists out of the loop.
+func TestSimSendRecvAllocFree(t *testing.T) {
+	eng, b := allocTestBackend(t)
+	recv := func(Message) {}
+
+	exercise := func() {
+		// Multi-dimension route (2 legs), recv-first and recv-after.
+		b.SimRecv(1, 14, 7, units.KB, recv)
+		b.SimSend(1, 14, 7, units.KB, nil)
+		b.SimSend(2, 3, 8, units.KB, nil)
+		if _, err := eng.Run(); err != nil {
+			t.Fatal(err)
+		}
+		b.SimRecv(2, 3, 8, units.KB, recv)
+		if _, err := eng.Run(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	exercise() // warm the pools
+	allocs := testing.AllocsPerRun(50, exercise)
+	if allocs > 0 {
+		t.Errorf("SimSend/SimRecv round allocates %.1f objects, want 0", allocs)
+	}
+}
+
+// SendOnDim (the collective algorithms' per-message fast path) must be
+// allocation-free in steady state as well.
+func TestSendOnDimAllocFree(t *testing.T) {
+	eng, b := allocTestBackend(t)
+	delivered := func(Message) {}
+	exercise := func() {
+		b.SendOnDim(0, 1, 0, units.KB, 1, nil, delivered)
+		b.SendOnDim(1, 2, 0, units.KB, 2, nil, delivered)
+		b.SendOnDim(0, 8, 1, units.KB, 3, nil, delivered)
+		if _, err := eng.Run(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	exercise()
+	allocs := testing.AllocsPerRun(50, exercise)
+	if allocs > 0 {
+		t.Errorf("SendOnDim round allocates %.1f objects, want 0", allocs)
+	}
+}

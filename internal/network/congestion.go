@@ -31,16 +31,16 @@ func (b *Backend) TransitCharging() bool { return b.chargeTransit }
 // path fall back to endpoint charging.
 func (b *Backend) reserveTransit(src, dst, dim int, size units.ByteSize) (units.Time, units.Time) {
 	d := b.top.Dims[dim]
-	srcC := b.top.Coord(src)
-	dstC := b.top.Coord(dst)
-	path := d.Kind.TransitPositions(srcC[dim], dstC[dim], d.Size)
+	stride := b.top.DimStride(dim)
+	srcPos := b.top.DimPos(src, dim)
+	dstPos := b.top.DimPos(dst, dim)
+	path := d.Kind.TransitPositions(srcPos, dstPos, d.Size)
 	if len(path) == 0 {
 		return b.reserve(src, dst, dim, size)
 	}
 	dur := d.TransferTime(size)
 	now := b.eng.Now()
-	stride := b.top.DimStride(dim)
-	base := src - srcC[dim]*stride
+	base := src - srcPos*stride
 
 	var srcEnd, ready units.Time
 	for h, pos := range path {

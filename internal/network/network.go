@@ -14,6 +14,11 @@
 // The package also exposes the paper's NetworkAPI protocol (Snippet 2):
 // SimSend / SimRecv pairs rendezvous on (src, dst, tag) and invoke
 // callbacks on completion, and SimSchedule defers arbitrary work.
+//
+// The backend is allocation-free per message in steady state: routes are
+// computed arithmetically (no coordinate slices), multi-hop sends and
+// deliveries run through pooled typed events, and the rendezvous queues
+// recycle their small slices through per-backend free lists.
 package network
 
 import (
@@ -63,9 +68,17 @@ type Backend struct {
 	linkFree []units.Time
 	dims     int
 
-	// Rendezvous state for SimSend/SimRecv matching.
-	arrived map[matchKey][]Message
-	waiting map[matchKey][]func(Message)
+	// Rendezvous state for SimSend/SimRecv matching. Queue objects and
+	// their backing slices are recycled through the pools below.
+	arrived map[matchKey]*msgQueue
+	waiting map[matchKey]*cbQueue
+
+	// Free lists for the per-message hot-path objects (legRuns keep their
+	// leg slices across reuse, so routed sends need no separate slice pool).
+	msgQueues  []*msgQueue
+	cbQueues   []*cbQueue
+	deliveries []*delivery
+	legRuns    []*legRun
 
 	// chargeTransit enables first-order congestion modeling: ring
 	// messages occupy every transit link, not just the endpoints.
@@ -76,6 +89,20 @@ type Backend struct {
 
 type matchKey struct {
 	src, dst, tag int
+}
+
+// msgQueue is a FIFO of arrived-but-unclaimed messages for one match key.
+// Popping advances head instead of reslicing so the backing array survives
+// intact and returns to the pool when the queue drains.
+type msgQueue struct {
+	items []Message
+	head  int
+}
+
+// cbQueue is the mirror FIFO of posted-but-unmatched receive callbacks.
+type cbQueue struct {
+	items []func(Message)
+	head  int
 }
 
 // Stats accumulates per-dimension and aggregate traffic counters.
@@ -99,15 +126,19 @@ func NewBackend(eng *timeline.Engine, top *topology.Topology) *Backend {
 		top:      top,
 		linkFree: make([]units.Time, n*d),
 		dims:     d,
-		arrived:  make(map[matchKey][]Message),
-		waiting:  make(map[matchKey][]func(Message)),
+		arrived:  make(map[matchKey]*msgQueue),
+		waiting:  make(map[matchKey]*cbQueue),
 	}
 	b.stats.BytesPerDim = make([]units.ByteSize, d)
+	// The per-NPU stats matrices share one backing array each: at large
+	// NPU counts the 2n row allocations otherwise dominate backend setup.
 	b.stats.SentPerNPUDim = make([][]units.ByteSize, n)
 	b.stats.RecvPerNPUDim = make([][]units.ByteSize, n)
+	sent := make([]units.ByteSize, n*d)
+	recv := make([]units.ByteSize, n*d)
 	for i := 0; i < n; i++ {
-		b.stats.SentPerNPUDim[i] = make([]units.ByteSize, d)
-		b.stats.RecvPerNPUDim[i] = make([]units.ByteSize, d)
+		b.stats.SentPerNPUDim[i] = sent[i*d : (i+1)*d : (i+1)*d]
+		b.stats.RecvPerNPUDim[i] = recv[i*d : (i+1)*d : (i+1)*d]
 	}
 	return b
 }
@@ -123,6 +154,10 @@ func (b *Backend) Now() units.Time { return b.eng.Now() }
 
 // SimSchedule implements API.
 func (b *Backend) SimSchedule(delay units.Time, fn func()) { b.eng.Schedule(delay, fn) }
+
+// ScheduleActor defers a typed event — the allocation-free SimSchedule used
+// by hot model code (the collective engine's chunk waves).
+func (b *Backend) ScheduleActor(delay units.Time, a timeline.Actor) { b.eng.ScheduleActor(delay, a) }
 
 func (b *Backend) linkIdx(npu, dim int) int { return npu*b.dims + dim }
 
@@ -158,22 +193,69 @@ func (b *Backend) reserve(src, dst, dim int, size units.ByteSize) (units.Time, u
 	return srcEnd, ready
 }
 
+// delivery is a pooled typed event that hands a delivered message to its
+// receiver — either a plain callback or an internal sink (a routed send's
+// next leg). One pooled object replaces the per-message closure capture.
+type delivery struct {
+	b    *Backend
+	msg  Message
+	cb   func(Message)
+	sink deliverySink
+}
+
+// deliverySink receives internal deliveries without a closure; *legRun and
+// *Backend (final rendezvous matching) implement it.
+type deliverySink interface {
+	deliverMsg(Message)
+}
+
+// Act implements timeline.Actor.
+func (d *delivery) Act() {
+	b, msg, cb, sink := d.b, d.msg, d.cb, d.sink
+	d.cb, d.sink = nil, nil
+	b.deliveries = append(b.deliveries, d)
+	switch {
+	case sink != nil:
+		sink.deliverMsg(msg)
+	case cb != nil:
+		cb(msg)
+	}
+}
+
+func (b *Backend) getDelivery() *delivery {
+	if n := len(b.deliveries); n > 0 {
+		d := b.deliveries[n-1]
+		b.deliveries = b.deliveries[:n-1]
+		return d
+	}
+	return &delivery{b: b}
+}
+
 // SendOnDim transmits size bytes between two NPUs that differ only in
 // dimension dim. sentCB fires when src's link frees; deliveredCB fires when
 // the message lands at dst. This is the fast path used by collective
 // algorithms, which by construction communicate one dimension at a time.
 func (b *Backend) SendOnDim(src, dst, dim int, size units.ByteSize, tag int, sentCB func(), deliveredCB func(Message)) {
+	b.sendOnDim(src, dst, dim, size, tag, sentCB, deliveredCB, nil)
+}
+
+func (b *Backend) sendOnDim(src, dst, dim int, size units.ByteSize, tag int, sentCB func(), deliveredCB func(Message), sink deliverySink) {
 	if src == dst {
 		panic(fmt.Sprintf("network: self-send on dim %d by NPU %d", dim, src))
 	}
 	d := b.top.Dims[dim]
-	srcC, dstC := b.top.Coord(src), b.top.Coord(dst)
-	for i := range srcC {
-		if i != dim && srcC[i] != dstC[i] {
+	// Walk both ranks' mixed-radix positions: validates that the endpoints
+	// differ only in dim and extracts the dim positions without
+	// materializing coordinate slices.
+	hops := 0
+	w := b.top.WalkPositions(src, dst)
+	for i, sp, tp, ok := w.Next(); ok; i, sp, tp, ok = w.Next() {
+		if i == dim {
+			hops = d.Hops(sp, tp)
+		} else if sp != tp {
 			panic(fmt.Sprintf("network: SendOnDim(%d->%d, dim %d) endpoints differ in dim %d", src, dst, dim, i))
 		}
 	}
-	hops := d.Hops(srcC[dim], dstC[dim])
 	var srcEnd, ready units.Time
 	if b.chargeTransit {
 		srcEnd, ready = b.reserveTransit(src, dst, dim, size)
@@ -187,15 +269,13 @@ func (b *Backend) SendOnDim(src, dst, dim int, size units.ByteSize, tag int, sen
 	b.stats.SentPerNPUDim[src][dim] += size
 	b.stats.RecvPerNPUDim[dst][dim] += size
 
-	msg := Message{Src: src, Dst: dst, Tag: tag, Size: size, Dim: dim}
 	if sentCB != nil {
 		b.eng.ScheduleAt(srcEnd, sentCB)
 	}
-	b.eng.ScheduleAt(arrive, func() {
-		if deliveredCB != nil {
-			deliveredCB(msg)
-		}
-	})
+	del := b.getDelivery()
+	del.msg = Message{Src: src, Dst: dst, Tag: tag, Size: size, Dim: dim}
+	del.cb, del.sink = deliveredCB, sink
+	b.eng.ScheduleActorAt(arrive, del)
 }
 
 // SimSend implements API using dimension-ordered routing: the message
@@ -207,29 +287,33 @@ func (b *Backend) SimSend(src, dst, tag int, size units.ByteSize, sentCB func())
 		if sentCB != nil {
 			b.eng.Schedule(0, sentCB)
 		}
-		b.eng.Schedule(0, func() {
-			b.deliver(Message{Src: src, Dst: dst, Tag: tag, Size: size, Dim: -1})
-		})
+		del := b.getDelivery()
+		del.msg = Message{Src: src, Dst: dst, Tag: tag, Size: size, Dim: -1}
+		del.sink = b
+		b.eng.ScheduleActor(0, del)
 		return
 	}
-	route := b.route(src, dst)
-	b.sendLeg(src, dst, tag, size, route, 0, sentCB)
+	r := b.getLegRun()
+	r.src, r.dst, r.tag, r.size = src, dst, tag, size
+	r.legs = b.route(src, dst, r.legs[:0])
+	r.idx = 0
+	r.issue(sentCB)
 }
 
-// route returns the sequence of intermediate ranks under dimension-ordered
-// routing; the last element is dst.
-func (b *Backend) route(src, dst int) []hopLeg {
-	srcC, dstC := b.top.Coord(src), b.top.Coord(dst)
-	var legs []hopLeg
-	cur := append([]int(nil), srcC...)
-	for dim := 0; dim < b.dims; dim++ {
-		if cur[dim] == dstC[dim] {
-			continue
+// route appends the dimension-ordered hop legs from src to dst onto legs
+// (the last leg ends at dst). Positions are walked digit by digit from the
+// ranks, so routing allocates nothing beyond the caller's leg slice.
+func (b *Backend) route(src, dst int, legs []hopLeg) []hopLeg {
+	cur := src
+	stride := 1
+	w := b.top.WalkPositions(src, dst)
+	for dim, sp, tp, ok := w.Next(); ok; dim, sp, tp, ok = w.Next() {
+		if sp != tp {
+			next := cur + (tp-sp)*stride
+			legs = append(legs, hopLeg{dim: dim, from: cur, to: next})
+			cur = next
 		}
-		next := append([]int(nil), cur...)
-		next[dim] = dstC[dim]
-		legs = append(legs, hopLeg{dim: dim, from: b.top.Rank(cur), to: b.top.Rank(next)})
-		cur = next
+		stride *= b.top.Dims[dim].Size
 	}
 	return legs
 }
@@ -239,19 +323,43 @@ type hopLeg struct {
 	from, to int
 }
 
-func (b *Backend) sendLeg(src, dst, tag int, size units.ByteSize, legs []hopLeg, idx int, sentCB func()) {
-	leg := legs[idx]
-	var sent func()
-	if idx == 0 {
-		sent = sentCB
+// legRun is a pooled in-flight routed send: it owns its leg slice for the
+// message's lifetime and re-issues itself as each leg delivers.
+type legRun struct {
+	b        *Backend
+	src, dst int
+	tag      int
+	size     units.ByteSize
+	legs     []hopLeg
+	idx      int
+}
+
+func (b *Backend) getLegRun() *legRun {
+	if n := len(b.legRuns); n > 0 {
+		r := b.legRuns[n-1]
+		b.legRuns = b.legRuns[:n-1]
+		return r
 	}
-	b.SendOnDim(leg.from, leg.to, leg.dim, size, tag, sent, func(Message) {
-		if idx+1 < len(legs) {
-			b.sendLeg(src, dst, tag, size, legs, idx+1, nil)
-			return
-		}
-		b.deliver(Message{Src: src, Dst: dst, Tag: tag, Size: size, Dim: -1})
-	})
+	return &legRun{b: b}
+}
+
+func (r *legRun) issue(sentCB func()) {
+	leg := r.legs[r.idx]
+	r.b.sendOnDim(leg.from, leg.to, leg.dim, r.size, r.tag, sentCB, nil, r)
+}
+
+// deliverMsg implements deliverySink: one leg landed, issue the next or
+// complete the route and recycle.
+func (r *legRun) deliverMsg(Message) {
+	r.idx++
+	if r.idx < len(r.legs) {
+		r.issue(nil)
+		return
+	}
+	b := r.b
+	msg := Message{Src: r.src, Dst: r.dst, Tag: r.tag, Size: r.size, Dim: -1}
+	b.legRuns = append(b.legRuns, r)
+	b.deliver(msg)
 }
 
 // SimRecv implements API.
@@ -260,32 +368,80 @@ func (b *Backend) SimRecv(src, dst, tag int, size units.ByteSize, recvCB func(Me
 		panic("network: SimRecv requires a callback")
 	}
 	k := matchKey{src: src, dst: dst, tag: tag}
-	if q := b.arrived[k]; len(q) > 0 {
-		msg := q[0]
-		if len(q) == 1 {
+	if q := b.arrived[k]; q != nil {
+		msg := q.items[q.head]
+		q.head++
+		if q.head == len(q.items) {
 			delete(b.arrived, k)
-		} else {
-			b.arrived[k] = q[1:]
+			b.putMsgQueue(q)
 		}
-		b.eng.Schedule(0, func() { recvCB(msg) })
+		del := b.getDelivery()
+		del.msg = msg
+		del.cb = recvCB
+		b.eng.ScheduleActor(0, del)
 		return
 	}
-	b.waiting[k] = append(b.waiting[k], recvCB)
+	q := b.waiting[k]
+	if q == nil {
+		q = b.getCBQueue()
+		b.waiting[k] = q
+	}
+	q.items = append(q.items, recvCB)
 }
+
+// deliverMsg implements deliverySink for loopback sends: route the message
+// into the rendezvous machinery at delivery time.
+func (b *Backend) deliverMsg(msg Message) { b.deliver(msg) }
 
 func (b *Backend) deliver(msg Message) {
 	k := matchKey{src: msg.Src, dst: msg.Dst, tag: msg.Tag}
-	if q := b.waiting[k]; len(q) > 0 {
-		cb := q[0]
-		if len(q) == 1 {
+	if q := b.waiting[k]; q != nil {
+		cb := q.items[q.head]
+		q.items[q.head] = nil // release for the GC while pooled
+		q.head++
+		if q.head == len(q.items) {
 			delete(b.waiting, k)
-		} else {
-			b.waiting[k] = q[1:]
+			b.putCBQueue(q)
 		}
 		cb(msg)
 		return
 	}
-	b.arrived[k] = append(b.arrived[k], msg)
+	q := b.arrived[k]
+	if q == nil {
+		q = b.getMsgQueue()
+		b.arrived[k] = q
+	}
+	q.items = append(q.items, msg)
+}
+
+func (b *Backend) getMsgQueue() *msgQueue {
+	if n := len(b.msgQueues); n > 0 {
+		q := b.msgQueues[n-1]
+		b.msgQueues = b.msgQueues[:n-1]
+		return q
+	}
+	return &msgQueue{}
+}
+
+func (b *Backend) putMsgQueue(q *msgQueue) {
+	q.items = q.items[:0]
+	q.head = 0
+	b.msgQueues = append(b.msgQueues, q)
+}
+
+func (b *Backend) getCBQueue() *cbQueue {
+	if n := len(b.cbQueues); n > 0 {
+		q := b.cbQueues[n-1]
+		b.cbQueues = b.cbQueues[:n-1]
+		return q
+	}
+	return &cbQueue{}
+}
+
+func (b *Backend) putCBQueue(q *cbQueue) {
+	q.items = q.items[:0]
+	q.head = 0
+	b.cbQueues = append(b.cbQueues, q)
 }
 
 // EstimateP2P returns the unloaded (no-queueing) latency of a point-to-point
@@ -295,12 +451,13 @@ func (b *Backend) EstimateP2P(src, dst int, size units.ByteSize) units.Time {
 		return 0
 	}
 	var t units.Time
-	srcC, dstC := b.top.Coord(src), b.top.Coord(dst)
-	for dim, d := range b.top.Dims {
-		if srcC[dim] == dstC[dim] {
+	w := b.top.WalkPositions(src, dst)
+	for dim, sp, ep, ok := w.Next(); ok; dim, sp, ep, ok = w.Next() {
+		if sp == ep {
 			continue
 		}
-		hops := d.Hops(srcC[dim], dstC[dim])
+		d := b.top.Dims[dim]
+		hops := d.Hops(sp, ep)
 		t += units.Time(hops)*d.Latency + d.TransferTime(size)
 	}
 	return t

@@ -1,0 +1,62 @@
+// Package prof wires Go's runtime profilers into the CLIs: a shared
+// -cpuprofile/-memprofile implementation so every command profiles the same
+// way (see README "Performance" for how to read a sweep profile).
+package prof
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// active flushes the in-progress capture; nil when nothing is profiling.
+// CLIs are single-threaded at startup/exit, so no locking is needed.
+var active func()
+
+// Start begins profiling per the given file paths (either may be empty).
+// Callers must arrange for Stop to run at every exit — including error
+// exits that bypass defers (os.Exit skips them, and a failing run is
+// exactly the one the user wants profiled).
+func Start(cpuPath, memPath string) error {
+	var cpuFile *os.File
+	if cpuPath != "" {
+		f, err := os.Create(cpuPath)
+		if err != nil {
+			return fmt.Errorf("cpuprofile: %w", err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return fmt.Errorf("cpuprofile: %w", err)
+		}
+		cpuFile = f
+	}
+	active = func() {
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			cpuFile.Close()
+		}
+		if memPath != "" {
+			f, err := os.Create(memPath)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "memprofile:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // flush garbage so the profile shows live + cumulative allocation sites
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "memprofile:", err)
+			}
+		}
+	}
+	return nil
+}
+
+// Stop finishes the CPU profile and writes the heap allocation profile.
+// It is idempotent and safe to call when Start never ran.
+func Stop() {
+	if active != nil {
+		active()
+		active = nil
+	}
+}

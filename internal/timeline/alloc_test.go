@@ -1,0 +1,52 @@
+package timeline
+
+import (
+	"testing"
+
+	"repro/internal/units"
+)
+
+// The engine's whole point is an allocation-free hot path: scheduling and
+// firing events in steady state (slot arena warm, heap capacity grown) must
+// not allocate at all — for closures the capture is the caller's business,
+// for actors nothing allocates anywhere. These guards pin that down so a
+// future change can't silently reintroduce per-event garbage.
+
+func TestScheduleStepAllocFree(t *testing.T) {
+	e := New()
+	fn := func() {}
+	// Warm the arena, heap and zero-delay FIFO past their final sizes.
+	for i := 0; i < 64; i++ {
+		e.Schedule(units.Time(i%7)*units.Nanosecond, fn)
+	}
+	if _, err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		e.Schedule(3*units.Nanosecond, fn) // heap lane
+		e.Schedule(0, fn)                  // zero-delay lane
+		e.Step()
+		e.Step()
+	})
+	if allocs != 0 {
+		t.Errorf("schedule+step allocates %.1f objects per event pair, want 0", allocs)
+	}
+}
+
+func TestScheduleActorAllocFree(t *testing.T) {
+	e := New()
+	a := &testActor{eng: e}
+	e.ScheduleActor(0, a)
+	if _, err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	a.times = a.times[:0]
+	allocs := testing.AllocsPerRun(100, func() {
+		e.ScheduleActor(units.Nanosecond, a)
+		e.Step()
+		a.times = a.times[:0] // keep the actor's own buffer from growing
+	})
+	if allocs != 0 {
+		t.Errorf("actor schedule+step allocates %.1f objects per event, want 0", allocs)
+	}
+}

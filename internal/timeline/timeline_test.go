@@ -128,7 +128,9 @@ func TestRunUntil(t *testing.T) {
 		d := d
 		e.Schedule(d*units.Nanosecond, func() { fired = append(fired, e.Now()) })
 	}
-	e.RunUntil(25 * units.Nanosecond)
+	if _, err := e.RunUntil(25 * units.Nanosecond); err != nil {
+		t.Fatal(err)
+	}
 	if len(fired) != 2 {
 		t.Fatalf("fired %d events before deadline, want 2", len(fired))
 	}
@@ -178,6 +180,124 @@ func TestMonotonicClockProperty(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
 		t.Error(err)
+	}
+}
+
+func TestRunUntilEnforcesBudget(t *testing.T) {
+	e := New()
+	e.SetEventBudget(100)
+	var loop func()
+	loop = func() { e.Schedule(units.Nanosecond, loop) }
+	e.Schedule(0, loop)
+	if _, err := e.RunUntil(units.Second); err == nil {
+		t.Error("expected budget-exceeded error from livelock in RunUntil")
+	}
+}
+
+// testActor records its firing times.
+type testActor struct {
+	eng   *Engine
+	times []units.Time
+}
+
+func (a *testActor) Act() { a.times = append(a.times, a.eng.Now()) }
+
+func TestScheduleActor(t *testing.T) {
+	e := New()
+	a := &testActor{eng: e}
+	e.ScheduleActor(20*units.Nanosecond, a)
+	e.ScheduleActor(10*units.Nanosecond, a)
+	e.ScheduleActorAt(30*units.Nanosecond, a)
+	e.ScheduleActor(0, a)
+	end, err := e.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if end != 30*units.Nanosecond {
+		t.Errorf("end = %v, want 30ns", end)
+	}
+	want := []units.Time{0, 10 * units.Nanosecond, 20 * units.Nanosecond, 30 * units.Nanosecond}
+	if len(a.times) != len(want) {
+		t.Fatalf("fired %d times, want %d", len(a.times), len(want))
+	}
+	for i, w := range want {
+		if a.times[i] != w {
+			t.Errorf("firing %d at %v, want %v", i, a.times[i], w)
+		}
+	}
+}
+
+func TestNilActorPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic on nil actor")
+		}
+	}()
+	New().ScheduleActor(0, nil)
+}
+
+// Events landing on the same instant via the heap (scheduled earlier with a
+// positive delay) must fire before events scheduled with delay zero at that
+// instant — heap arrivals carry earlier sequence numbers. This pins the
+// zero-delay fast path's ordering contract.
+func TestZeroDelayInterleavesWithHeapFIFO(t *testing.T) {
+	e := New()
+	var order []string
+	e.Schedule(10*units.Nanosecond, func() {
+		order = append(order, "first@10")
+		// Scheduled at t=10 with delay 0: must fire after the pre-queued
+		// heap events also due at t=10 (they were scheduled earlier).
+		e.Schedule(0, func() { order = append(order, "zero-a") })
+		e.Schedule(0, func() {
+			order = append(order, "zero-b")
+			e.Schedule(0, func() { order = append(order, "zero-c") })
+		})
+	})
+	e.Schedule(10*units.Nanosecond, func() { order = append(order, "second@10") })
+	e.Schedule(10*units.Nanosecond, func() { order = append(order, "third@10") })
+	if _, err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"first@10", "second@10", "third@10", "zero-a", "zero-b", "zero-c"}
+	if len(order) != len(want) {
+		t.Fatalf("order = %v, want %v", order, want)
+	}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+}
+
+// Heavy churn through the free list and both queue lanes must preserve the
+// global (time, schedule-order) firing order.
+func TestChurnOrdering(t *testing.T) {
+	e := New()
+	rng := rand.New(rand.NewSource(7))
+	var fired []units.Time
+	var spawn func(depth int)
+	spawn = func(depth int) {
+		fired = append(fired, e.Now())
+		if depth <= 0 {
+			return
+		}
+		n := rng.Intn(3)
+		for i := 0; i < n; i++ {
+			d := units.Time(rng.Int63n(100))
+			e.Schedule(d, func() { spawn(depth - 1) })
+		}
+	}
+	for i := 0; i < 50; i++ {
+		d := units.Time(rng.Int63n(1000))
+		e.Schedule(d, func() { spawn(4) })
+	}
+	if _, err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(fired); i++ {
+		if fired[i] < fired[i-1] {
+			t.Fatalf("clock ran backwards at firing %d: %v -> %v", i, fired[i-1], fired[i])
+		}
 	}
 }
 

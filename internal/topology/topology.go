@@ -198,6 +198,44 @@ func (t *Topology) DimStride(dim int) int {
 	return stride
 }
 
+// DimPos returns rank's position along dim (0-based) — the allocation-free
+// point lookup matching Coord(rank)[dim].
+func (t *Topology) DimPos(rank, dim int) int {
+	for i := 0; i < dim; i++ {
+		rank /= t.Dims[i].Size
+	}
+	return rank % t.Dims[dim].Size
+}
+
+// PosWalker iterates two ranks' mixed-radix positions dimension by
+// dimension without allocating coordinate slices. It is the canonical
+// digit-order encoding (Dim 1 least significant, matching Coord/Rank);
+// hot paths that compare or route between ranks walk it instead of
+// re-deriving the radix convention.
+type PosWalker struct {
+	t    *Topology
+	a, b int
+	dim  int
+}
+
+// WalkPositions returns a walker over the per-dimension positions of
+// ranks a and b. The zero-cost value type lives on the caller's stack.
+func (t *Topology) WalkPositions(a, b int) PosWalker {
+	return PosWalker{t: t, a: a, b: b}
+}
+
+// Next yields the next dimension index and both ranks' positions in it,
+// or ok=false when all dimensions are consumed.
+func (w *PosWalker) Next() (dim, pa, pb int, ok bool) {
+	if w.dim >= len(w.t.Dims) {
+		return 0, 0, 0, false
+	}
+	k := w.t.Dims[w.dim].Size
+	dim, pa, pb = w.dim, w.a%k, w.b%k
+	w.a, w.b, w.dim = w.a/k, w.b/k, w.dim+1
+	return dim, pa, pb, true
+}
+
 // DimGroup returns the ranks of all NPUs that share every coordinate with
 // rank except along dim (0-based) — i.e. the communicator group for a
 // collective phase on that dimension. The result is ordered by position in
