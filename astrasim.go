@@ -471,9 +471,15 @@ func (m *Machine) run(w Workload, timeline bool) (*Report, *core.RunStats, error
 	if err != nil {
 		return nil, nil, err
 	}
+	return reportFromStats(w.Name(), stats), stats, nil
+}
+
+// reportFromStats converts engine run statistics to the public Report —
+// shared by single runs, sweeps and the cluster layer's per-job rows.
+func reportFromStats(workload string, stats *core.RunStats) *Report {
 	mean := stats.MeanBreakdown()
 	rep := &Report{
-		Workload:         w.Name(),
+		Workload:         workload,
 		Makespan:         toDuration(stats.Makespan),
 		Compute:          toDuration(mean.Compute),
 		ExposedComm:      toDuration(mean.ExposedComm),
@@ -486,7 +492,7 @@ func (m *Machine) run(w Workload, timeline bool) (*Report, *core.RunStats, error
 	for _, b := range stats.TrafficPerDim {
 		rep.TrafficPerDimMB = append(rep.TrafficPerDimMB, float64(b)/1e6)
 	}
-	return rep, stats, nil
+	return rep
 }
 
 // EstimateCollective returns the closed-form runtime prediction for a

@@ -47,6 +47,25 @@
 //	  "bandwidths": [[500], [250, 250]],
 //	  "workloads": [{"kind": "gpt3"}]
 //	}
+//
+// With -cluster it co-simulates N training jobs space-sharing one fabric
+// and memory pool on a single timeline, with fair-sharing arbitration on
+// the levels jobs co-reside on, and reports per-job slowdown vs. the
+// isolated run:
+//
+//	astrasim -cluster jobs.json
+//
+// where jobs.json looks like
+//
+//	{
+//	  "name": "tenants",
+//	  "fabric": {"Topology": "SW(8)_SW(16,4)", "BandwidthsGBps": [250, 250]},
+//	  "placement": "packed",
+//	  "jobs": [
+//	    {"name": "gpt", "npus": 16, "count": 4, "workload": {"kind": "gpt3"}},
+//	    {"name": "ads", "npus": 32, "workload": {"kind": "dlrm"}}
+//	  ]
+//	}
 package main
 
 import (
@@ -76,6 +95,8 @@ func main() {
 		timeline   = flag.String("timeline", "", "write a Chrome-trace timeline (chrome://tracing) to this file")
 		sweepPath  = flag.String("sweep", "", "run a machine x workload sweep grid from this JSON spec instead of a single simulation")
 		optPath    = flag.String("optimize", "", "run a budgeted design-space search from this JSON spec (astrasim.SearchSpec; strategies: "+strings.Join(astrasim.SearchStrategies(), ", ")+")")
+		clusPath   = flag.String("cluster", "", "co-simulate multiple training jobs sharing one fabric from this JSON spec (astrasim.ClusterSpec; placements: "+strings.Join(astrasim.ClusterPlacements(), ", ")+")")
+		baselines  = flag.Bool("slowdowns", true, "with -cluster, also run isolated baselines and report per-job slowdowns")
 		parallel   = flag.Int("parallel", 0, "sweep/search worker count; 0 = all cores (results identical for any value)")
 		csvOut     = flag.Bool("csv", false, "print the sweep or search result as CSV")
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file (go tool pprof)")
@@ -96,6 +117,12 @@ func main() {
 	}
 	if *optPath != "" {
 		if err := runOptimize(*optPath, *parallel, *jsonOut, *csvOut); err != nil {
+			fatal(err)
+		}
+		return
+	}
+	if *clusPath != "" {
+		if err := runCluster(*clusPath, *baselines, *jsonOut, *csvOut); err != nil {
 			fatal(err)
 		}
 		return
@@ -216,6 +243,21 @@ func runOptimize(path string, workers int, jsonOut, csvOut bool) error {
 	if progressed {
 		fmt.Fprintln(os.Stderr)
 	}
+	if err != nil {
+		return err
+	}
+	switch {
+	case jsonOut:
+		return res.WriteJSON(os.Stdout)
+	case csvOut:
+		return res.WriteCSV(os.Stdout)
+	default:
+		return res.WriteTable(os.Stdout)
+	}
+}
+
+func runCluster(path string, slowdowns, jsonOut, csvOut bool) error {
+	res, err := astrasim.RunClusterFile(path, astrasim.ClusterOptions{Slowdowns: slowdowns})
 	if err != nil {
 		return err
 	}

@@ -49,6 +49,24 @@ type Config struct {
 	// endpoint charging is exact for congestion-free hierarchical
 	// collectives.
 	ModelTransitCongestion bool
+	// FlowController, when non-nil, arbitrates this simulator's network
+	// flows against other simulators space-sharing the same physical
+	// fabric — the multi-job cluster layer. Nil keeps the backend's
+	// allocation-free isolated behavior.
+	FlowController network.FlowController
+	// RemoteArbiter, when non-nil, scales remote-memory access (and
+	// in-switch collective) durations by cross-job memory-pool contention.
+	RemoteArbiter RemoteArbiter
+}
+
+// RemoteArbiter arbitrates a remote memory pool shared by several
+// co-scheduled simulators. RemoteStarted is called when a remote access
+// begins and returns the contention factor (>= 1) multiplying its
+// duration; RemoteFinished is called when the access completes. Both run
+// on the single-threaded event engine.
+type RemoteArbiter interface {
+	RemoteStarted() float64
+	RemoteFinished()
 }
 
 // Activity labels a timeline interval's attribution category.
@@ -146,7 +164,9 @@ func (s RunStats) MeanBreakdown() Breakdown {
 }
 
 // Simulator executes traces over a configured machine. A Simulator is
-// single-use: construct, Run once, read stats.
+// single-use: construct, Run once, read stats. Several simulators may
+// share one timeline engine (NewSimulatorOn) to model co-scheduled jobs;
+// each keeps its own network backend, collective engine and trace state.
 type Simulator struct {
 	cfg  Config
 	eng  *timeline.Engine
@@ -160,6 +180,11 @@ type Simulator struct {
 
 	collLog   []collective.Result
 	remaining int
+
+	// startAt is the simulated time the trace was released (job arrival);
+	// finished is when its last node completed.
+	startAt  units.Time
+	finished units.Time
 }
 
 type npuState struct {
@@ -198,8 +223,17 @@ type pendingCollective struct {
 	nodes   map[int]*et.Node // rank -> node to complete
 }
 
-// NewSimulator builds a simulator for the given machine configuration.
+// NewSimulator builds a simulator for the given machine configuration,
+// driven by its own private event engine.
 func NewSimulator(cfg Config) (*Simulator, error) {
+	return NewSimulatorOn(timeline.New(), cfg)
+}
+
+// NewSimulatorOn builds a simulator driven by an existing engine, so
+// several simulators — the jobs of a multi-tenant cluster — can interleave
+// on one shared timeline. The caller runs the engine itself and collects
+// each simulator's statistics with Finalize.
+func NewSimulatorOn(eng *timeline.Engine, cfg Config) (*Simulator, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
@@ -209,9 +243,9 @@ func NewSimulator(cfg Config) (*Simulator, error) {
 	if cfg.CollectiveLogLimit == 0 {
 		cfg.CollectiveLogLimit = 1024
 	}
-	eng := timeline.New()
 	net := network.NewBackend(eng, cfg.Topology)
 	net.SetTransitCharging(cfg.ModelTransitCongestion)
+	net.SetFlowController(cfg.FlowController)
 	coll := collective.NewEngine(net,
 		collective.WithPolicy(cfg.Policy),
 		collective.WithChunks(cfg.Chunks))
@@ -225,15 +259,39 @@ func NewSimulator(cfg Config) (*Simulator, error) {
 	}, nil
 }
 
-// Run executes the trace to completion and returns the run statistics.
+// Run executes the trace to completion on the simulator's engine and
+// returns the run statistics — the single-job path.
 func (s *Simulator) Run(trace *et.Trace) (*RunStats, error) {
-	if err := trace.Validate(); err != nil {
+	if err := s.Start(trace, s.eng.Now()); err != nil {
 		return nil, err
 	}
+	if _, err := s.eng.Run(); err != nil {
+		return nil, err
+	}
+	return s.Finalize()
+}
+
+// Start validates the trace, builds the dependency state and releases the
+// initially ready nodes at simulated time `at` (the job's arrival). When
+// `at` equals the engine's current clock the nodes are issued immediately,
+// preserving the isolated-run event order exactly; a later arrival is
+// scheduled as a timeline event. The caller then runs the shared engine
+// and calls Finalize.
+func (s *Simulator) Start(trace *et.Trace, at units.Time) error {
+	if s.npus != nil {
+		return fmt.Errorf("core: simulator already started (single-use)")
+	}
+	if err := trace.Validate(); err != nil {
+		return err
+	}
 	if trace.NumNPUs != s.cfg.Topology.NumNPUs() {
-		return nil, fmt.Errorf("core: trace is for %d NPUs but topology has %d",
+		return fmt.Errorf("core: trace is for %d NPUs but topology has %d",
 			trace.NumNPUs, s.cfg.Topology.NumNPUs())
 	}
+	if at < s.eng.Now() {
+		return fmt.Errorf("core: start time %v is in the engine's past (now %v)", at, s.eng.Now())
+	}
+	s.startAt = at
 
 	s.npus = make([]*npuState, trace.NumNPUs)
 	graphs := make([]*et.Graph, trace.NumNPUs)
@@ -248,6 +306,7 @@ func (s *Simulator) Run(trace *et.Trace) (*RunStats, error) {
 			nodes:     make(map[int]*et.Node, len(g.Nodes)),
 			completed: make(map[int]bool, len(g.Nodes)),
 			pending:   len(g.Nodes),
+			lastTouch: at,
 			recording: s.cfg.RecordTimeline,
 		}
 		for _, n := range g.Nodes {
@@ -261,12 +320,21 @@ func (s *Simulator) Run(trace *et.Trace) (*RunStats, error) {
 		s.remaining += st.pending
 	}
 
-	// Issue every initially ready node in ascending-ID order. The trace
-	// builders assign IDs in insertion order, so for every generated (and
-	// round-tripped) trace the node list already IS that order and no
-	// sort runs; externally authored traces with a shuffled node list
-	// fall back to sorting so their issue order — and therefore their
-	// simulated output — is independent of list order.
+	if at == s.eng.Now() {
+		s.release(graphs)
+	} else {
+		s.eng.ScheduleAt(at, func() { s.release(graphs) })
+	}
+	return nil
+}
+
+// release issues every initially ready node in ascending-ID order. The
+// trace builders assign IDs in insertion order, so for every generated
+// (and round-tripped) trace the node list already IS that order and no
+// sort runs; externally authored traces with a shuffled node list fall
+// back to sorting so their issue order — and therefore their simulated
+// output — is independent of list order.
+func (s *Simulator) release(graphs []*et.Graph) {
 	for rank, g := range graphs {
 		st := s.npus[rank]
 		ascending := true
@@ -295,16 +363,32 @@ func (s *Simulator) Run(trace *et.Trace) (*RunStats, error) {
 			s.issue(st, st.nodes[id])
 		}
 	}
+}
 
-	if _, err := s.eng.Run(); err != nil {
-		return nil, err
+// StartTime returns the simulated time the trace was released.
+func (s *Simulator) StartTime() units.Time { return s.startAt }
+
+// FinishTime returns the simulated time the last node completed; valid
+// once Done reports true.
+func (s *Simulator) FinishTime() units.Time { return s.finished }
+
+// Done reports whether every node of the trace has completed.
+func (s *Simulator) Done() bool { return s.npus != nil && s.remaining == 0 }
+
+// Finalize collects the run statistics after the engine has drained. The
+// Makespan is the span from the trace's release to its last node's
+// completion; on a shared engine, Events counts every event the engine
+// fired, across all simulators driving it.
+func (s *Simulator) Finalize() (*RunStats, error) {
+	if s.npus == nil {
+		return nil, fmt.Errorf("core: Finalize before Start")
 	}
 	if s.remaining > 0 {
 		return nil, fmt.Errorf("core: simulation deadlocked with %d nodes pending (unmatched P2P or incomplete collective rendezvous); first stuck: %s",
 			s.remaining, s.describeStuck())
 	}
 
-	makespan := s.eng.Now()
+	makespan := s.finished - s.startAt
 	stats := &RunStats{
 		Makespan:    makespan,
 		PerNPU:      make([]Breakdown, len(s.npus)),
@@ -312,9 +396,9 @@ func (s *Simulator) Run(trace *et.Trace) (*RunStats, error) {
 		Events:      s.eng.Fired(),
 	}
 	for i, st := range s.npus {
-		st.touch(makespan)
-		st.breakdown.Idle += makespan - st.lastTouch
-		st.lastTouch = makespan
+		st.touch(s.finished)
+		st.breakdown.Idle += s.finished - st.lastTouch
+		st.lastTouch = s.finished
 		stats.PerNPU[i] = st.breakdown
 		if s.cfg.RecordTimeline {
 			stats.Timeline = append(stats.Timeline, st.timeline...)
@@ -416,6 +500,10 @@ func (s *Simulator) issue(st *npuState, n *et.Node) {
 			kind = memory.StoreAccess
 		}
 		dur := s.cfg.Memory.AccessTime(loc, kind, units.ByteSize(n.TensorBytes))
+		if loc == memory.Remote && s.cfg.RemoteArbiter != nil {
+			s.runRemote(st, n, dur, counter)
+			return
+		}
 		s.runTimed(st, n, dur, counter)
 	case et.KindComm:
 		s.issueCollective(st, n)
@@ -443,6 +531,21 @@ func (s *Simulator) issue(st *npuState, n *et.Node) {
 func (s *Simulator) runTimed(st *npuState, n *et.Node, dur units.Time, counter *int) {
 	s.markBusy(st, counter)
 	s.eng.Schedule(dur, func() {
+		s.markFree(st, counter)
+		s.complete(st, n)
+	})
+}
+
+// runRemote executes a remote-memory node under the cross-job pool
+// arbiter: the access duration is stretched by the contention factor at
+// issue time and the arbiter is released on completion.
+func (s *Simulator) runRemote(st *npuState, n *et.Node, dur units.Time, counter *int) {
+	if f := s.cfg.RemoteArbiter.RemoteStarted(); f > 1 {
+		dur = units.Time(float64(dur) * f)
+	}
+	s.markBusy(st, counter)
+	s.eng.Schedule(dur, func() {
+		s.cfg.RemoteArbiter.RemoteFinished()
 		s.markFree(st, counter)
 		s.complete(st, n)
 	})
@@ -518,8 +621,19 @@ func (s *Simulator) launchCollective(p *pendingCollective, n *et.Node) {
 			shard = 1
 		}
 		dur := s.cfg.Memory.Pool.InSwitchCollectiveTime(shard)
+		arb := s.cfg.RemoteArbiter
+		if arb != nil {
+			// In-switch collectives stream through the shared pool fabric,
+			// so they contend like any other remote access.
+			if f := arb.RemoteStarted(); f > 1 {
+				dur = units.Time(float64(dur) * f)
+			}
+		}
 		start := s.eng.Now()
 		s.eng.Schedule(dur, func() {
+			if arb != nil {
+				arb.RemoteFinished()
+			}
 			finish(collective.Result{
 				Op:    mapCollective(n.Collective),
 				Size:  units.ByteSize(n.CommBytes),
@@ -574,6 +688,9 @@ func (s *Simulator) complete(st *npuState, n *et.Node) {
 	st.completed[n.ID] = true
 	st.pending--
 	s.remaining--
+	if s.remaining == 0 {
+		s.finished = s.eng.Now()
+	}
 	for _, child := range st.children[n.ID] {
 		st.indeg[child.ID]--
 		if st.indeg[child.ID] == 0 {

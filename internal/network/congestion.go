@@ -28,17 +28,21 @@ func (b *Backend) TransitCharging() bool { return b.chargeTransit }
 // reserveTransit charges the serialization time to every node's dimension
 // link along the model's transit path from src to dst (inclusive),
 // returning (src egress end, latest charged end). Blocks without a transit
-// path fall back to endpoint charging.
-func (b *Backend) reserveTransit(src, dst, dim int, size units.ByteSize) (units.Time, units.Time) {
+// path fall back to endpoint charging. factor (>= 1) is the cross-backend
+// fair-sharing contention multiplier.
+func (b *Backend) reserveTransit(src, dst, dim int, size units.ByteSize, factor float64) (units.Time, units.Time) {
 	d := b.top.Dims[dim]
 	stride := b.top.DimStride(dim)
 	srcPos := b.top.DimPos(src, dim)
 	dstPos := b.top.DimPos(dst, dim)
 	path := d.Kind.TransitPositions(srcPos, dstPos, d.Size)
 	if len(path) == 0 {
-		return b.reserve(src, dst, dim, size)
+		return b.reserve(src, dst, dim, size, factor)
 	}
 	dur := d.TransferTime(size)
+	if factor > 1 {
+		dur = units.Time(float64(dur) * factor)
+	}
 	now := b.eng.Now()
 	base := src - srcPos*stride
 

@@ -79,10 +79,16 @@ type Backend struct {
 	cbQueues   []*cbQueue
 	deliveries []*delivery
 	legRuns    []*legRun
+	flowDones  []*flowDone
 
 	// chargeTransit enables first-order congestion modeling: ring
 	// messages occupy every transit link, not just the endpoints.
 	chargeTransit bool
+
+	// fc, when non-nil, arbitrates this backend's flows against flows on
+	// other backends sharing the same physical fabric (the multi-job
+	// cluster layer). Nil — the default — costs nothing on the hot path.
+	fc FlowController
 
 	stats Stats
 }
@@ -143,6 +149,51 @@ func NewBackend(eng *timeline.Engine, top *topology.Topology) *Backend {
 	return b
 }
 
+// FlowController observes dimension-level flow activity for cross-backend
+// bandwidth arbitration: several backends space-sharing one physical
+// fabric (co-scheduled training jobs) each report their flows to a shared
+// controller, which answers with the fair-sharing contention factor. Both
+// calls happen on the single-threaded event engine, so implementations
+// need no locking.
+type FlowController interface {
+	// FlowStarted reports a transfer starting on the backend's dimension
+	// dim. The returned factor (>= 1) divides the transfer's effective
+	// bandwidth; 1 leaves the transfer untouched, bit for bit.
+	FlowStarted(dim int) float64
+	// FlowFinished reports that a transfer accounted by FlowStarted has
+	// left the network (its links are free again).
+	FlowFinished(dim int)
+}
+
+// SetFlowController attaches a cross-backend flow arbiter; nil (the
+// default) disables arbitration and keeps the per-message hot path
+// allocation-free and byte-identical to an isolated backend.
+func (b *Backend) SetFlowController(fc FlowController) { b.fc = fc }
+
+// flowDone is a pooled typed event reporting a transfer's end to the flow
+// controller — the "recompute on flow finish" half of fair sharing.
+type flowDone struct {
+	b   *Backend
+	dim int
+}
+
+// Act implements timeline.Actor.
+func (f *flowDone) Act() {
+	b, dim := f.b, f.dim
+	b.flowDones = append(b.flowDones, f)
+	b.fc.FlowFinished(dim)
+}
+
+func (b *Backend) getFlowDone(dim int) *flowDone {
+	if n := len(b.flowDones); n > 0 {
+		f := b.flowDones[n-1]
+		b.flowDones = b.flowDones[:n-1]
+		f.dim = dim
+		return f
+	}
+	return &flowDone{b: b, dim: dim}
+}
+
 // Topology returns the backend's topology.
 func (b *Backend) Topology() *topology.Topology { return b.top }
 
@@ -170,9 +221,14 @@ func (b *Backend) linkIdx(npu, dim int) int { return npu*b.dims + dim }
 // each NPU's per-dimension bandwidth, which is the accounting the paper's
 // Table IV uses; queueing the ends independently avoids artificial
 // convoy-chains around rings when every NPU sends and receives at once.
-func (b *Backend) reserve(src, dst, dim int, size units.ByteSize) (units.Time, units.Time) {
+// factor (>= 1) is the cross-backend fair-sharing contention multiplier;
+// 1 leaves the serialization time untouched.
+func (b *Backend) reserve(src, dst, dim int, size units.ByteSize, factor float64) (units.Time, units.Time) {
 	d := b.top.Dims[dim]
 	dur := d.TransferTime(size)
+	if factor > 1 {
+		dur = units.Time(float64(dur) * factor)
+	}
 	now := b.eng.Now()
 	si, di := b.linkIdx(src, dim), b.linkIdx(dst, dim)
 	srcStart := b.linkFree[si]
@@ -256,11 +312,21 @@ func (b *Backend) sendOnDim(src, dst, dim int, size units.ByteSize, tag int, sen
 			panic(fmt.Sprintf("network: SendOnDim(%d->%d, dim %d) endpoints differ in dim %d", src, dst, dim, i))
 		}
 	}
+	factor := 1.0
+	if b.fc != nil {
+		factor = b.fc.FlowStarted(dim)
+	}
 	var srcEnd, ready units.Time
 	if b.chargeTransit {
-		srcEnd, ready = b.reserveTransit(src, dst, dim, size)
+		srcEnd, ready = b.reserveTransit(src, dst, dim, size, factor)
 	} else {
-		srcEnd, ready = b.reserve(src, dst, dim, size)
+		srcEnd, ready = b.reserve(src, dst, dim, size, factor)
+	}
+	if b.fc != nil {
+		// The flow occupies its links until the transfer is deliverable;
+		// report the end through a pooled typed event so fair shares are
+		// recomputed the instant it frees.
+		b.eng.ScheduleActorAt(ready, b.getFlowDone(dim))
 	}
 	arrive := ready + units.Time(hops)*d.Latency
 

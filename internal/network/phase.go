@@ -24,11 +24,23 @@ func (b *Backend) PhaseAvailability(members []int, dim int) units.Time {
 // returns the phase's start and serialization-end times. Traffic statistics
 // attribute half the per-NPU traffic to sends and half to receives, so the
 // sum matches the paper's per-dimension message-size accounting.
+//
+// With a flow controller attached, the phase is one flow on the dimension:
+// its serialization is stretched by the cross-job contention factor at
+// reservation time and its end is reported back through a typed event.
 func (b *Backend) ReservePhase(members []int, dim int, perNPUTraffic units.ByteSize) (start, end units.Time) {
 	d := b.top.Dims[dim]
 	dur := d.TransferTime(perNPUTraffic)
+	if b.fc != nil {
+		if factor := b.fc.FlowStarted(dim); factor > 1 {
+			dur = units.Time(float64(dur) * factor)
+		}
+	}
 	start = b.PhaseAvailability(members, dim)
 	end = start + dur
+	if b.fc != nil {
+		b.eng.ScheduleActorAt(end, b.getFlowDone(dim))
+	}
 	half := perNPUTraffic / 2
 	for _, m := range members {
 		b.linkFree[b.linkIdx(m, dim)] = end

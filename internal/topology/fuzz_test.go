@@ -1,0 +1,85 @@
+package topology
+
+import (
+	"strings"
+	"testing"
+)
+
+// fuzzSeedSpecs covers every registered block notation (short and long
+// spellings, single- and multi-argument forms), plus malformed inputs the
+// parser must reject gracefully.
+func fuzzSeedSpecs() []string {
+	return []string{
+		// Every registered block, both spellings.
+		"R(4)", "Ring(16)",
+		"FC(8)", "FullyConnected(4)", "Fully-Connected(2)",
+		"SW(16)", "Switch(512)", "SW(16,4)", "sw(32,2)",
+		"M(8)", "Mesh(4)",
+		"T2D(4,4)", "Torus2D(16,32)", "torus(2,2)",
+		// Stacked shapes from the paper and the case studies.
+		"R(2)_FC(8)_R(8)_SW(4)",
+		"R(16)_FC(8)_SW(4)",
+		"T2D(4,4)_SW(8,4)",
+		"M(16)_M(32)",
+		"r(4)_fc(2)_sw(2)",
+		// Whitespace and case variations.
+		" R(4) _ SW(2) ", "RING(4)",
+		// Malformed: must error, never panic.
+		"", "_", "R", "R()", "R(", "R)4(", "R(x)", "R(-4)", "R(0)", "R(1)",
+		"Q(4)", "R(4)__SW(2)", "R(4)_", "SW(4,0)", "SW(4,-1)", "SW(1,2,3)",
+		"T2D(4)", "T2D(0,4)", "T2D(4,1000000000)", "R(4294967296)",
+		"R(99999999999999999999)", "R(4)_Q(2)", "R(2)_R(2)_R(2)_R(2)_R(2)_R(2)",
+	}
+}
+
+// FuzzParseTopology asserts the parser's contract: any input either
+// produces a valid topology or an error — it never panics — and every
+// accepted topology round-trips through its canonical notation.
+func FuzzParseTopology(f *testing.F) {
+	for _, s := range fuzzSeedSpecs() {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, spec string) {
+		top, err := Parse(spec)
+		if err != nil {
+			return
+		}
+		if top.NumNPUs() < 2 {
+			t.Fatalf("Parse(%q) accepted a %d-NPU topology", spec, top.NumNPUs())
+		}
+		// The canonical notation must re-parse to the same shape.
+		canon := top.String()
+		again, err := Parse(canon)
+		if err != nil {
+			t.Fatalf("canonical %q of accepted %q does not re-parse: %v", canon, spec, err)
+		}
+		if again.String() != canon {
+			t.Fatalf("round-trip drift: %q -> %q", canon, again.String())
+		}
+	})
+}
+
+// FuzzParseWithBandwidth exercises the bandwidth-assignment wrapper with
+// derived vectors of the right and wrong lengths.
+func FuzzParseWithBandwidth(f *testing.F) {
+	for _, s := range fuzzSeedSpecs() {
+		f.Add(s, 250.0, 1)
+	}
+	f.Fuzz(func(t *testing.T, spec string, gbps float64, extra int) {
+		dims := strings.Count(spec, "_") + 1
+		if extra < 0 {
+			extra = -extra
+		}
+		bw := make([]float64, 0, dims+extra%3)
+		for i := 0; i < dims+extra%3; i++ {
+			bw = append(bw, gbps)
+		}
+		top, err := ParseWithBandwidth(spec, bw, 500)
+		if err != nil {
+			return
+		}
+		if len(top.Dims) != len(bw) {
+			t.Fatalf("ParseWithBandwidth(%q) accepted %d bandwidths for %d dims", spec, len(bw), len(top.Dims))
+		}
+	})
+}

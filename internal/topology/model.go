@@ -107,6 +107,17 @@ type DimModel interface {
 	PhaseSchedule(op PhaseKind, k int, d units.ByteSize) [][]Xfer
 }
 
+// Subdividable is implemented by blocks that remain structurally valid on
+// any subset of their members — switches, whose ports are interchangeable.
+// Slice returns the model a k-member slice of the block behaves as when a
+// job owns only k of the block's ports. The multi-job cluster layer uses
+// it to carve per-job sub-fabrics out of a shared dimension; blocks
+// without it (rings, meshes, tori) can only be given to a job whole,
+// because a subset of their members is not the same fabric.
+type Subdividable interface {
+	Slice(k int) (DimModel, error)
+}
+
 // CeilLog2 returns ceil(log2(n)) for n >= 1 — the step count of
 // halving-doubling-style algorithms.
 func CeilLog2(n int) int {
@@ -335,6 +346,20 @@ func (m switchModel) EffectiveBandwidth(bw units.Bandwidth, size int) units.Band
 		return bw
 	}
 	return bw / units.Bandwidth(m.Oversub)
+}
+
+// Slice implements Subdividable: any k ports of a switch are themselves a
+// switch. The slice drops the oversubscription factor — o:1 tapering caps
+// the switch core's aggregate uplink capacity at size·BW/o, so a job
+// owning only a few ports can still drive each of them at line rate while
+// the core is otherwise idle. Charging the shared core when several jobs
+// are active is the cluster layer's runtime arbitration, not a static
+// property of the slice.
+func (m switchModel) Slice(k int) (DimModel, error) {
+	if k < 2 {
+		return nil, fmt.Errorf("switch slice needs k >= 2, got %d", k)
+	}
+	return Switch, nil
 }
 
 func (switchModel) PhaseSchedule(op PhaseKind, k int, d units.ByteSize) [][]Xfer {

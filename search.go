@@ -10,6 +10,7 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/cluster"
 	"repro/internal/search"
 	"repro/internal/sweep"
 )
@@ -77,8 +78,26 @@ type SearchSpec struct {
 	Bandwidths [][]float64 `json:"bandwidths,omitempty"`
 
 	// Workloads to optimize over; each machine candidate is paired with
-	// each workload.
+	// each workload. Ignored in cluster mode.
 	Workloads []WorkloadSpec `json:"workloads"`
+
+	// Cluster, when non-nil, switches the search to multi-tenant mode:
+	// every machine candidate is a shared cluster fabric, the placement
+	// policies become a second search axis, and each evaluation
+	// co-simulates the cluster's jobs (RunCluster) instead of a single
+	// workload.
+	Cluster *ClusterSearchSpec `json:"cluster,omitempty"`
+}
+
+// ClusterSearchSpec configures a cluster-mode search: the co-scheduled
+// jobs every fabric candidate must host, and the placement policies to
+// optimize over.
+type ClusterSearchSpec struct {
+	Jobs []ClusterJobSpec `json:"jobs"`
+	// Placements lists the policies to search (default: all registered).
+	Placements []string `json:"placements,omitempty"`
+	// Seed drives the random placement's shuffle.
+	Seed int64 `json:"seed,omitempty"`
 }
 
 // LoadSearchSpec reads a SearchSpec JSON document, rejecting unknown
@@ -118,10 +137,13 @@ func RunSearchFile(path string, opt SearchOptions) (*SearchResult, error) {
 	return Optimize(spec, opt)
 }
 
-// SearchEval is one scored (machine, workload) candidate.
+// SearchEval is one scored candidate: (machine, workload) in single-job
+// searches, (fabric, placement) in cluster mode.
 type SearchEval struct {
 	Machine  string `json:"machine"`
 	Workload string `json:"workload"`
+	// Placement is the cluster-mode placement policy (empty otherwise).
+	Placement string `json:"placement,omitempty"`
 	// Score is the fidelity's value as a duration: the closed-form proxy
 	// estimate on screening rungs, the simulated objective on full rungs.
 	Score time.Duration `json:"score_ns"`
@@ -138,9 +160,10 @@ type SearchGeneration struct {
 
 // SearchPruned records one infeasible candidate.
 type SearchPruned struct {
-	Machine  string `json:"machine"`
-	Workload string `json:"workload"`
-	Reason   string `json:"reason"`
+	Machine   string `json:"machine"`
+	Workload  string `json:"workload,omitempty"`
+	Placement string `json:"placement,omitempty"`
+	Reason    string `json:"reason"`
 }
 
 // SearchResult holds a completed search. Everything but Wall is
@@ -267,11 +290,15 @@ func searchObjective(name string) (string, func(*Report) time.Duration, error) {
 	}
 }
 
-// Optimize searches the spec's machine x workload space for the candidate
-// minimizing the objective. Candidates are screened with the closed-form
-// collective estimator; only strategy-promoted survivors run the full
-// event engine. The result is byte-identical for any worker count.
+// Optimize searches the spec's machine x workload space (or, in cluster
+// mode, fabric x placement space) for the candidate minimizing the
+// objective. Candidates are screened with the closed-form collective
+// estimator; only strategy-promoted survivors run the full event engine.
+// The result is byte-identical for any worker count.
 func Optimize(spec SearchSpec, opt SearchOptions) (*SearchResult, error) {
+	if spec.Cluster != nil {
+		return optimizeCluster(spec, opt)
+	}
 	if len(spec.Workloads) == 0 {
 		return nil, fmt.Errorf("astrasim: search %q has no workloads", spec.Name)
 	}
@@ -424,6 +451,261 @@ func Optimize(spec SearchSpec, opt SearchOptions) (*SearchResult, error) {
 	return out, nil
 }
 
+// clusterObjective maps the objective name to a cluster-result metric.
+func clusterObjective(name string) (string, func(*ClusterResult) time.Duration, error) {
+	switch name {
+	case "", "makespan":
+		// The cluster makespan: when the last job finishes.
+		return "makespan", func(r *ClusterResult) time.Duration { return r.Makespan }, nil
+	case "comm", "exposed_comm":
+		// Mean exposed communication across jobs — fabric-interference
+		// sensitivity without the compute floor.
+		return "comm", func(r *ClusterResult) time.Duration {
+			var sum time.Duration
+			for _, j := range r.Jobs {
+				sum += j.Report.ExposedComm
+			}
+			return sum / time.Duration(len(r.Jobs))
+		}, nil
+	default:
+		return "", nil, fmt.Errorf("astrasim: unknown objective %q (want makespan or comm)", name)
+	}
+}
+
+// optimizeCluster is the cluster-mode search: candidates are (fabric,
+// placement) pairs hosting the spec's co-scheduled jobs. Screening stays
+// machine-level (the closed-form proxy on the fabric); promoted survivors
+// run the full multi-job co-simulation.
+func optimizeCluster(spec SearchSpec, opt SearchOptions) (*SearchResult, error) {
+	cs := spec.Cluster
+	if len(cs.Jobs) == 0 {
+		return nil, fmt.Errorf("astrasim: cluster search %q has no jobs", spec.Name)
+	}
+	placements := cs.Placements
+	if len(placements) == 0 {
+		placements = cluster.Placements()
+	}
+	placed := make([]cluster.Placement, len(placements))
+	for i, name := range placements {
+		p, err := cluster.ParsePlacement(name)
+		if err != nil {
+			return nil, err
+		}
+		placed[i] = p
+	}
+	// Validate the job specs once up front.
+	if _, err := expandClusterJobs(cs.Jobs); err != nil {
+		return nil, err
+	}
+	jobsJSON, err := json.Marshal(cs.Jobs)
+	if err != nil {
+		return nil, err
+	}
+
+	machines, err := buildSearchMachines(spec)
+	if err != nil {
+		return nil, err
+	}
+	name := spec.Name
+	if name == "" {
+		name = "cluster-search"
+	}
+	objName, objFn, err := clusterObjective(spec.Objective)
+	if err != nil {
+		return nil, err
+	}
+	proxyOp := spec.ProxyOp
+	if proxyOp == "" {
+		proxyOp = "all_reduce"
+	}
+	if _, _, err := collectiveOp(proxyOp); err != nil {
+		return nil, fmt.Errorf("astrasim: proxy op: %w", err)
+	}
+	proxySize := spec.ProxySizeBytes
+	if proxySize == 0 {
+		proxySize = 1 << 30
+	}
+	strat, err := search.StrategyFor(spec.Strategy)
+	if err != nil {
+		return nil, err
+	}
+
+	// feasible pre-plans each (fabric, placement) pair so ill-fitting job
+	// sizes and placement-incompatible layouts become pruned candidates,
+	// not evaluation errors.
+	nP := len(placements)
+	feasible := func(i int) error {
+		mi, pi := i/nP, i%nP
+		if r := machines.reasons[mi]; r != "" {
+			return fmt.Errorf("%s", r)
+		}
+		m := machines.mach[mi]
+		jobs, err := expandClusterJobs(cs.Jobs)
+		if err != nil {
+			return err
+		}
+		cfg := clusterConfig(m, placed[pi], cs.Seed, jobs)
+		_, err = cluster.Plan(cfg.Fabric, cfg.Jobs, cfg.Placement, cfg.Seed)
+		return err
+	}
+
+	// Like the multi-workload default, promote whole machines: the proxy
+	// is machine-level, so placements of one fabric tie and are ranked by
+	// candidate id, not merit.
+	maxSims := spec.MaxSimulations
+	if maxSims <= 0 && nP > 1 && !(strat.Name() == "random" && spec.Population > 0) {
+		eta := spec.Eta
+		if eta <= 0 {
+			eta = 4
+		}
+		feasibleMachines := 0
+		for mi, r := range machines.reasons {
+			if r != "" {
+				continue
+			}
+			// A machine counts if any placement lays the jobs out — the
+			// policies genuinely differ (strided can split blocks packed
+			// keeps whole).
+			for pi := range placed {
+				if feasible(mi*nP+pi) == nil {
+					feasibleMachines++
+					break
+				}
+			}
+		}
+		if feasibleMachines > 0 {
+			maxSims = (feasibleMachines + eta - 1) / eta * nP
+		}
+	}
+
+	problem := search.Problem{
+		Name:       name,
+		Candidates: len(machines.names) * nP,
+		Label: func(i int) string {
+			return machines.names[i/nP] + " / " + placements[i%nP]
+		},
+		Feasible: feasible,
+		Estimate: func(i int) (float64, error) {
+			d, err := machines.mach[i/nP].EstimateCollective(proxyOp, proxySize)
+			return float64(d), err
+		},
+		Simulate: func(i int) (float64, error) {
+			mi, pi := i/nP, i%nP
+			// Each run materializes its own workloads so trace generators
+			// are never shared between goroutines.
+			jobs, err := expandClusterJobs(cs.Jobs)
+			if err != nil {
+				return 0, err
+			}
+			res, err := cluster.Run(clusterConfig(machines.mach[mi], placed[pi], cs.Seed, jobs))
+			if err != nil {
+				return 0, err
+			}
+			rep := clusterResultFromInternal(spec.Name, machines.mach[mi], placed[pi], cs.Seed, jobs, res)
+			return float64(objFn(rep)), nil
+		},
+		Fingerprint: func(i int, f search.Fidelity) string {
+			if f == search.FidelityEstimate {
+				return fmt.Sprintf("astrasim-search-est|%s|%d|%s", proxyOp, proxySize, machines.fps[i/nP])
+			}
+			return fmt.Sprintf("astrasim-cluster-sim|%s|%s|%d|%s|%s",
+				objName, placements[i%nP], cs.Seed, jobsJSON, machines.fps[i/nP])
+		},
+	}
+	res, err := search.Optimize(problem, search.Options{
+		Strategy:       spec.Strategy,
+		Seed:           spec.Seed,
+		MaxSimulations: maxSims,
+		Population:     spec.Population,
+		Eta:            spec.Eta,
+		Exec: sweep.Exec{
+			Workers:  opt.Workers,
+			Cache:    sweep.NewCache(),
+			Progress: opt.Progress,
+		},
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	workload := fmt.Sprintf("cluster(%d jobs)", countClusterJobs(cs.Jobs))
+	conv := func(e search.Eval) SearchEval {
+		return SearchEval{
+			Machine:   machines.names[e.Candidate/nP],
+			Workload:  workload,
+			Placement: placements[e.Candidate%nP],
+			Score:     time.Duration(e.Score),
+			Promoted:  e.Promoted,
+		}
+	}
+	out := &SearchResult{
+		Name:        spec.Name,
+		Strategy:    res.Strategy,
+		Seed:        res.Seed,
+		Objective:   objName,
+		Candidates:  res.Candidates,
+		Feasible:    res.Feasible,
+		Estimates:   res.Estimates,
+		Simulations: res.Simulations,
+		Best:        conv(res.Best),
+		Wall:        res.Wall,
+	}
+	for _, g := range res.History {
+		gen := SearchGeneration{Index: g.Index, Fidelity: g.Fidelity}
+		for _, e := range g.Evals {
+			gen.Evals = append(gen.Evals, conv(e))
+		}
+		out.History = append(out.History, gen)
+	}
+	for _, p := range res.PrunedCandidates {
+		out.Pruned = append(out.Pruned, SearchPruned{
+			Machine:   machines.names[p.Candidate/nP],
+			Placement: placements[p.Candidate%nP],
+			Reason:    p.Reason,
+		})
+	}
+	return out, nil
+}
+
+// countClusterJobs sums the job specs' replica counts.
+func countClusterJobs(specs []ClusterJobSpec) int {
+	n := 0
+	for _, js := range specs {
+		c := js.Count
+		if c == 0 {
+			c = 1
+		}
+		n += c
+	}
+	return n
+}
+
+// clusterResultFromInternal wraps an internal cluster result in the public
+// form (without isolated baselines) so objectives read one type.
+func clusterResultFromInternal(name string, m *Machine, p cluster.Placement, seed int64, jobs []clusterJob, res *cluster.Result) *ClusterResult {
+	out := &ClusterResult{
+		Name:      name,
+		Fabric:    m.TopologySpec(),
+		Placement: p.String(),
+		Seed:      seed,
+		Makespan:  toDuration(res.Makespan),
+		Events:    res.Events,
+	}
+	for i, jr := range res.Jobs {
+		out.Jobs = append(out.Jobs, ClusterJobRow{
+			Job:       jr.Name,
+			Workload:  jobs[i].workload.Name(),
+			NPUs:      jr.NPUs,
+			Local:     jr.Local.String(),
+			FirstRank: jr.Ranks[0],
+			Arrival:   toDuration(jr.Arrival),
+			Finish:    toDuration(jr.Finish),
+			Report:    reportFromStats(jobs[i].workload.Name(), jr.Stats),
+		})
+	}
+	return out
+}
+
 // WriteJSON writes the result as an indented JSON document — byte-
 // identical for any worker count.
 func (r *SearchResult) WriteJSON(w io.Writer) error {
@@ -436,7 +718,7 @@ func (r *SearchResult) WriteJSON(w io.Writer) error {
 // rung order. Deterministic for a given result.
 func (r *SearchResult) WriteCSV(w io.Writer) error {
 	cw := csv.NewWriter(w)
-	if err := cw.Write([]string{"generation", "fidelity", "machine", "workload", "score_us", "promoted"}); err != nil {
+	if err := cw.Write([]string{"generation", "fidelity", "machine", "workload", "placement", "score_us", "promoted"}); err != nil {
 		return err
 	}
 	for _, g := range r.History {
@@ -446,6 +728,7 @@ func (r *SearchResult) WriteCSV(w io.Writer) error {
 				g.Fidelity,
 				e.Machine,
 				e.Workload,
+				e.Placement,
 				strconv.FormatFloat(float64(e.Score)/float64(time.Microsecond), 'g', -1, 64),
 				strconv.FormatBool(e.Promoted),
 			}
@@ -496,7 +779,10 @@ func (r *SearchResult) WriteTable(w io.Writer) error {
 		r.Simulations, r.Feasible, frac, r.Wall.Round(time.Millisecond)); err != nil {
 		return err
 	}
-	_, err := fmt.Fprintf(w, "best: %s / %s  %s = %v\n",
-		r.Best.Machine, r.Best.Workload, r.Objective, r.Best.Score)
+	best := r.Best.Machine + " / " + r.Best.Workload
+	if r.Best.Placement != "" {
+		best += " / " + r.Best.Placement
+	}
+	_, err := fmt.Fprintf(w, "best: %s  %s = %v\n", best, r.Objective, r.Best.Score)
 	return err
 }

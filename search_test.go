@@ -328,7 +328,7 @@ func TestSearchResultWriters(t *testing.T) {
 	if err := res.WriteCSV(&csv); err != nil {
 		t.Fatal(err)
 	}
-	if !strings.HasPrefix(csv.String(), "generation,fidelity,machine,workload,score_us,promoted\n") {
+	if !strings.HasPrefix(csv.String(), "generation,fidelity,machine,workload,placement,score_us,promoted\n") {
 		t.Errorf("CSV header: %q", strings.SplitN(csv.String(), "\n", 2)[0])
 	}
 }
