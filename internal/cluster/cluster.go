@@ -129,6 +129,10 @@ type Config struct {
 	// CollectiveLogLimit caps each job's retained collective results.
 	CollectiveLogLimit     int
 	ModelTransitCongestion bool
+	// Shards selects the shared event engine driving every co-scheduled
+	// job: <= 1 serial, larger values a sharded engine (see core.Config).
+	// Results are byte-identical either way.
+	Shards int
 
 	Placement Placement
 	// Seed drives the random placement's shuffle; results are fully
@@ -613,7 +617,8 @@ func Run(cfg Config) (*Result, error) {
 		return nil, err
 	}
 
-	eng := timeline.New()
+	eng := timeline.ForShards(cfg.Shards)
+	core.ApplyLookahead(eng, cfg.Fabric)
 	fabric := newFabricState(layout)
 	var pool *poolState
 	if cfg.Memory.HasPool && len(cfg.Jobs) > 1 {

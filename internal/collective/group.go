@@ -123,15 +123,21 @@ func (g Group) Members(top *topology.Topology) []int {
 		}
 		members = grown
 	}
-	sort.Ints(members)
+	if !sort.IntsAreSorted(members) {
+		sort.Ints(members)
+	}
 	return members
 }
 
 // Signature returns a canonical identity for the communicator instance:
 // two NPUs issuing "the same" collective produce equal signatures exactly
 // when they belong to the same group instance. It is the lowest member
-// rank plus the span layout.
+// rank — the group origin, computed arithmetically — plus the span layout,
+// so signing costs O(dims) rather than materializing the member list.
 func (g Group) Signature(top *topology.Topology) string {
-	members := g.Members(top)
-	return fmt.Sprintf("%d/%v", members[0], g.Spans)
+	coord := top.Coord(g.Base)
+	for _, s := range g.Spans {
+		coord[s.Phys] -= (coord[s.Phys] / s.Stride % s.K) * s.Stride
+	}
+	return fmt.Sprintf("%d/%v", top.Rank(coord), g.Spans)
 }

@@ -1,0 +1,68 @@
+package experiments
+
+import (
+	"encoding/json"
+	"runtime"
+	"testing"
+)
+
+// The sharded-determinism suite: the same experiments the golden fixtures
+// lock in, re-run on the sharded event engine at several shard counts, and
+// diffed byte-for-byte against the serial run. Together with TestGolden
+// this proves `Shards` is purely an execution knob — K timeline shards,
+// any K, produce the fixtures' exact bytes.
+
+func shardCounts() []int {
+	counts := []int{1, 2, 4}
+	if n := runtime.NumCPU(); n > 4 {
+		counts = append(counts, n)
+	}
+	return counts
+}
+
+func TestShardedByteIdentical(t *testing.T) {
+	cases := []struct {
+		name  string
+		short bool
+		run   func(o Options) (any, error)
+	}{
+		{"fig4", true, func(o Options) (any, error) { return Fig4(o) }},
+		{"fabrics_reduced", false, func(o Options) (any, error) {
+			o.Reduced = true
+			return Fabrics(o)
+		}},
+		{"interference_reduced", false, func(o Options) (any, error) {
+			o.Reduced = true
+			return Interference(o)
+		}},
+	}
+	for _, c := range cases {
+		c := c
+		t.Run(c.name, func(t *testing.T) {
+			if testing.Short() && !c.short {
+				t.Skipf("%s runs a heavy grid; covered by the full suite and CI", c.name)
+			}
+			serialRes, err := c.run(Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			serial, err := json.Marshal(serialRes)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, k := range shardCounts() {
+				res, err := c.run(Options{Shards: k})
+				if err != nil {
+					t.Fatalf("shards=%d: %v", k, err)
+				}
+				got, err := json.Marshal(res)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if string(got) != string(serial) {
+					t.Errorf("shards=%d: output diverged from the serial run (%d vs %d bytes)", k, len(got), len(serial))
+				}
+			}
+		})
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"strings"
 
 	"repro/internal/collective"
+	"repro/internal/core"
 	"repro/internal/memory"
 	"repro/internal/network"
 	"repro/internal/sweep"
@@ -50,12 +51,20 @@ func poolFingerprint(p memory.PoolConfig) string {
 		p.InNodeFabricBW.GBpsValue(), int64(p.Latency))
 }
 
+// collMemo is the package-shared collective memoization table: identical
+// whole-machine collectives recurring across experiments replay their
+// recorded sub-result instead of re-simulating the chunk wave. Simulated
+// output is byte-identical with or without it, and the table is safe for
+// the sweep engine's concurrent workers.
+var collMemo = collective.NewMemo()
+
 // runEngine executes one collective on a fresh timeline + network backend,
 // returning the result and the number of discrete events fired.
-func runEngine(top *topology.Topology, op collective.Op, size units.ByteSize, chunks int, policy collective.Policy) (collective.Result, uint64, error) {
-	eng := timeline.New()
+func runEngine(top *topology.Topology, op collective.Op, size units.ByteSize, chunks int, policy collective.Policy, shards int) (collective.Result, uint64, error) {
+	eng := timeline.ForShards(shards)
+	core.ApplyLookahead(eng, top)
 	net := network.NewBackend(eng, top)
-	ce := collective.NewEngine(net, collective.WithChunks(chunks), collective.WithPolicy(policy))
+	ce := collective.NewEngine(net, collective.WithChunks(chunks), collective.WithPolicy(policy), collective.WithMemo(collMemo))
 	var res collective.Result
 	if err := ce.Start(op, size, collective.FullMachine(top), func(r collective.Result) { res = r }); err != nil {
 		return res, 0, err

@@ -43,7 +43,11 @@ func (b *Backend) reserveTransit(src, dst, dim int, size units.ByteSize, factor 
 	if factor > 1 {
 		dur = units.Time(float64(dur) * factor)
 	}
+	b.ensureLinks()
 	now := b.eng.Now()
+	if f := b.dimFloor[dim]; f > now {
+		now = f // the dimension floor lower-bounds every link of the dim
+	}
 	base := src - srcPos*stride
 
 	var srcEnd, ready units.Time
@@ -61,6 +65,9 @@ func (b *Backend) reserveTransit(src, dst, dim int, size units.ByteSize, factor 
 		if end > ready {
 			ready = end
 		}
+	}
+	if ready > b.dimMaxLink[dim] {
+		b.dimMaxLink[dim] = ready
 	}
 	return srcEnd, ready
 }

@@ -1,0 +1,93 @@
+package network
+
+import (
+	"repro/internal/units"
+)
+
+// Ledger is a snapshot of the dimension-aggregate state a whole-machine
+// collective reads and writes: the per-dimension link floors, the deferred
+// phase-traffic accumulators, and the per-dimension byte totals. The
+// collective engine's memoization layer captures Ledgers to validate that a
+// recorded run was pure and to fast-forward (or roll back) a replayed one.
+type Ledger struct {
+	Floor     []units.Time
+	PhaseSent []units.ByteSize
+	PhaseRecv []units.ByteSize
+	Bytes     []units.ByteSize
+}
+
+// SnapshotLedger copies the current aggregate state into dst, reusing its
+// backing arrays when possible.
+func (b *Backend) SnapshotLedger(dst *Ledger) {
+	dst.Floor = append(dst.Floor[:0], b.dimFloor...)
+	dst.PhaseSent = append(dst.PhaseSent[:0], b.phaseSent...)
+	dst.PhaseRecv = append(dst.PhaseRecv[:0], b.phaseRecv...)
+	dst.Bytes = append(dst.Bytes[:0], b.stats.BytesPerDim...)
+}
+
+// RestoreLedger writes a snapshot back, undoing every aggregate mutation
+// made since it was taken. Only sound when nothing else touched the backend
+// in between — the memoization layer guarantees that by cancelling a replay
+// at the first observation of backend state.
+func (b *Backend) RestoreLedger(src *Ledger) {
+	copy(b.dimFloor, src.Floor)
+	copy(b.phaseSent, src.PhaseSent)
+	copy(b.phaseRecv, src.PhaseRecv)
+	copy(b.stats.BytesPerDim, src.Bytes)
+}
+
+// ApplyLedgerDeltas fast-forwards the aggregates by a recorded run's net
+// effect: dimensions the run touched get their floor set to now+floorDelta
+// (untouched dimensions are marked with a negative delta), and the traffic
+// accumulators advance by the recorded amounts.
+func (b *Backend) ApplyLedgerDeltas(now units.Time, floorDelta []units.Time, sent, recv, bytes []units.ByteSize) {
+	for d := range floorDelta {
+		if fd := floorDelta[d]; fd >= 0 {
+			b.dimFloor[d] = now + fd
+		}
+		b.phaseSent[d] += sent[d]
+		b.phaseRecv[d] += recv[d]
+		b.stats.BytesPerDim[d] += bytes[d]
+	}
+}
+
+// QuietDims reports whether every dimension aggregate is at or before the
+// current instant and no flow controller is attached — the backend-side
+// half of the "a collective started now is a pure function of its shape"
+// condition the memoization layer requires.
+func (b *Backend) QuietDims() bool {
+	if b.fc != nil {
+		return false
+	}
+	now := b.eng.Now()
+	for d := 0; d < b.dims; d++ {
+		if b.dimFloor[d] > now || b.dimMaxLink[d] > now {
+			return false
+		}
+	}
+	return true
+}
+
+// PendingEvents reports the driving engine's queued event count.
+func (b *Backend) PendingEvents() int { return b.eng.Pending() }
+
+// EventsFired reports the driving engine's executed event count.
+func (b *Backend) EventsFired() uint64 { return b.eng.Fired() }
+
+// CreditEvents forwards a fast-forward event credit (or its revocation) to
+// the driving engine.
+func (b *Backend) CreditEvents(n int64) { b.eng.CreditFired(n) }
+
+// SetActivityHook installs fn to be invoked before any operation that reads
+// or writes link or ledger state (phase reservations, point-to-point sends,
+// stats materialization). The memoization layer installs it while a replayed
+// collective is in flight so the first observer cancels the fast-forward and
+// falls back to live simulation; nil (the default) costs one predictable
+// branch on the hot path.
+func (b *Backend) SetActivityHook(fn func()) { b.onActivity = fn }
+
+func (b *Backend) touchActivity() {
+	if b.onActivity != nil {
+		b.onActivity()
+	}
+}

@@ -60,13 +60,24 @@ type API interface {
 
 // Backend is the analytical network backend.
 type Backend struct {
-	eng *timeline.Engine
+	eng timeline.Scheduler
 	top *topology.Topology
 
-	// linkFree[npu*dims+dim] is the earliest time the NPU's dimension link
-	// is idle again.
-	linkFree []units.Time
-	dims     int
+	// Link occupancy is kept as a dimension-level aggregate plus an
+	// optional per-link overlay, so whole-machine collective phases cost
+	// O(1) instead of O(NPUs) per phase:
+	//
+	//   - dimFloor[dim] is a floor applied to every link of the dimension;
+	//     a phase that reserves all links writes it once.
+	//   - linkFree[npu*dims+dim], allocated lazily on the first per-link
+	//     reservation, overlays individual point-to-point traffic; a
+	//     link's effective free time is max(linkFree entry, dimFloor).
+	//   - dimMaxLink[dim] caches the maximum stored per-link entry, so a
+	//     full-dimension phase start never walks the overlay.
+	linkFree   []units.Time
+	dimFloor   []units.Time
+	dimMaxLink []units.Time
+	npus, dims int
 
 	// Rendezvous state for SimSend/SimRecv matching. Queue objects and
 	// their backing slices are recycled through the pools below.
@@ -85,10 +96,21 @@ type Backend struct {
 	// messages occupy every transit link, not just the endpoints.
 	chargeTransit bool
 
+	// phaseSent/phaseRecv[dim] accumulate per-NPU traffic charged uniformly
+	// to every NPU by whole-machine phases; Stats() folds them into the
+	// per-NPU matrices on demand. This keeps full-machine phases from
+	// writing 2×NPUs stats entries each.
+	phaseSent []units.ByteSize
+	phaseRecv []units.ByteSize
+
 	// fc, when non-nil, arbitrates this backend's flows against flows on
 	// other backends sharing the same physical fabric (the multi-job
 	// cluster layer). Nil — the default — costs nothing on the hot path.
 	fc FlowController
+
+	// onActivity, when non-nil, fires before every state-touching operation
+	// (see SetActivityHook).
+	onActivity func()
 
 	stats Stats
 }
@@ -125,19 +147,44 @@ type Stats struct {
 
 // NewBackend builds an analytical backend over a topology, driven by the
 // given event engine.
-func NewBackend(eng *timeline.Engine, top *topology.Topology) *Backend {
+func NewBackend(eng timeline.Scheduler, top *topology.Topology) *Backend {
 	n, d := top.NumNPUs(), top.NumDims()
 	b := &Backend{
-		eng:      eng,
-		top:      top,
-		linkFree: make([]units.Time, n*d),
-		dims:     d,
-		arrived:  make(map[matchKey]*msgQueue),
-		waiting:  make(map[matchKey]*cbQueue),
+		eng:        eng,
+		top:        top,
+		dimFloor:   make([]units.Time, d),
+		dimMaxLink: make([]units.Time, d),
+		phaseSent:  make([]units.ByteSize, d),
+		phaseRecv:  make([]units.ByteSize, d),
+		npus:       n,
+		dims:       d,
+		arrived:    make(map[matchKey]*msgQueue),
+		waiting:    make(map[matchKey]*cbQueue),
 	}
 	b.stats.BytesPerDim = make([]units.ByteSize, d)
-	// The per-NPU stats matrices share one backing array each: at large
-	// NPU counts the 2n row allocations otherwise dominate backend setup.
+	// The per-link array and the per-NPU stats matrices are O(NPUs) state;
+	// they allocate lazily on first use so backend setup — and whole-machine
+	// collective workloads, which never touch individual links — stay O(dims).
+	return b
+}
+
+// ensureLinks allocates the per-link overlay on the first point-to-point
+// reservation. A zero entry means the link has no individual backlog beyond
+// the dimension floor.
+func (b *Backend) ensureLinks() {
+	if b.linkFree == nil {
+		b.linkFree = make([]units.Time, b.npus*b.dims)
+	}
+}
+
+// ensureStatsMatrices allocates the per-NPU traffic matrices. The matrices
+// share one backing array each: at large NPU counts the 2n row allocations
+// otherwise dominate backend setup.
+func (b *Backend) ensureStatsMatrices() {
+	if b.stats.SentPerNPUDim != nil {
+		return
+	}
+	n, d := b.npus, b.dims
 	b.stats.SentPerNPUDim = make([][]units.ByteSize, n)
 	b.stats.RecvPerNPUDim = make([][]units.ByteSize, n)
 	sent := make([]units.ByteSize, n*d)
@@ -146,7 +193,6 @@ func NewBackend(eng *timeline.Engine, top *topology.Topology) *Backend {
 		b.stats.SentPerNPUDim[i] = sent[i*d : (i+1)*d : (i+1)*d]
 		b.stats.RecvPerNPUDim[i] = recv[i*d : (i+1)*d : (i+1)*d]
 	}
-	return b
 }
 
 // FlowController observes dimension-level flow activity for cross-backend
@@ -197,8 +243,25 @@ func (b *Backend) getFlowDone(dim int) *flowDone {
 // Topology returns the backend's topology.
 func (b *Backend) Topology() *topology.Topology { return b.top }
 
-// Stats returns a snapshot reference of the accumulated traffic counters.
-func (b *Backend) Stats() *Stats { return &b.stats }
+// Stats returns a snapshot reference of the accumulated traffic counters,
+// folding any pending whole-machine phase traffic into the per-NPU matrices
+// first so callers always see fully materialized counts.
+func (b *Backend) Stats() *Stats {
+	b.touchActivity()
+	b.ensureStatsMatrices()
+	for d := 0; d < b.dims; d++ {
+		sent, recv := b.phaseSent[d], b.phaseRecv[d]
+		if sent == 0 && recv == 0 {
+			continue
+		}
+		for npu := 0; npu < b.npus; npu++ {
+			b.stats.SentPerNPUDim[npu][d] += sent
+			b.stats.RecvPerNPUDim[npu][d] += recv
+		}
+		b.phaseSent[d], b.phaseRecv[d] = 0, 0
+	}
+	return &b.stats
+}
 
 // Now implements API.
 func (b *Backend) Now() units.Time { return b.eng.Now() }
@@ -229,7 +292,11 @@ func (b *Backend) reserve(src, dst, dim int, size units.ByteSize, factor float64
 	if factor > 1 {
 		dur = units.Time(float64(dur) * factor)
 	}
+	b.ensureLinks()
 	now := b.eng.Now()
+	if f := b.dimFloor[dim]; f > now {
+		now = f // the dimension floor lower-bounds every link of the dim
+	}
 	si, di := b.linkIdx(src, dim), b.linkIdx(dst, dim)
 	srcStart := b.linkFree[si]
 	if srcStart < now {
@@ -242,6 +309,12 @@ func (b *Backend) reserve(src, dst, dim int, size units.ByteSize, factor float64
 	srcEnd, dstEnd := srcStart+dur, dstStart+dur
 	b.linkFree[si] = srcEnd
 	b.linkFree[di] = dstEnd
+	if dstEnd > b.dimMaxLink[dim] {
+		b.dimMaxLink[dim] = dstEnd
+	}
+	if srcEnd > b.dimMaxLink[dim] {
+		b.dimMaxLink[dim] = srcEnd
+	}
 	ready := srcEnd
 	if dstEnd > ready {
 		ready = dstEnd
@@ -296,6 +369,7 @@ func (b *Backend) SendOnDim(src, dst, dim int, size units.ByteSize, tag int, sen
 }
 
 func (b *Backend) sendOnDim(src, dst, dim int, size units.ByteSize, tag int, sentCB func(), deliveredCB func(Message), sink deliverySink) {
+	b.touchActivity()
 	if src == dst {
 		panic(fmt.Sprintf("network: self-send on dim %d by NPU %d", dim, src))
 	}
@@ -332,6 +406,7 @@ func (b *Backend) sendOnDim(src, dst, dim int, size units.ByteSize, tag int, sen
 
 	b.stats.Messages++
 	b.stats.BytesPerDim[dim] += size
+	b.ensureStatsMatrices()
 	b.stats.SentPerNPUDim[src][dim] += size
 	b.stats.RecvPerNPUDim[dst][dim] += size
 

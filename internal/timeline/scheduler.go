@@ -1,0 +1,50 @@
+package timeline
+
+import "repro/internal/units"
+
+// Scheduler is the event-scheduling surface the model layers program
+// against: the serial Engine and the sharded ShardGroup both implement it,
+// so a simulation can be moved between them without touching model code.
+// Both fire events in the same deterministic (time, seq) order, which is
+// what makes their simulated output byte-identical.
+type Scheduler interface {
+	// Now returns the current simulated time.
+	Now() units.Time
+	// Pending reports how many events are waiting in the queue.
+	Pending() int
+	// Fired reports how many events have executed since construction,
+	// including events credited by CreditFired.
+	Fired() uint64
+	// CreditFired accounts n events a fast-forward path skipped (negative
+	// n revokes an earlier credit on rollback).
+	CreditFired(n int64)
+	// SetEventBudget caps events per Run/RunUntil; 0 = unlimited.
+	SetEventBudget(n uint64)
+	// Schedule enqueues fn to run after delay (negative clamps to zero).
+	Schedule(delay units.Time, fn Callback)
+	// ScheduleAt enqueues fn at an absolute time (past clamps to now).
+	ScheduleAt(at units.Time, fn Callback)
+	// ScheduleActor is the allocation-free Schedule for typed events.
+	ScheduleActor(delay units.Time, a Actor)
+	// ScheduleActorAt is the allocation-free ScheduleAt.
+	ScheduleActorAt(at units.Time, a Actor)
+	// Run executes events until the queue drains.
+	Run() (units.Time, error)
+	// RunUntil executes events with timestamps <= deadline.
+	RunUntil(deadline units.Time) (units.Time, error)
+}
+
+var (
+	_ Scheduler = (*Engine)(nil)
+	_ Scheduler = (*ShardGroup)(nil)
+)
+
+// ForShards returns the scheduler for a shard count: k <= 1 yields the
+// serial engine, larger k a k-way sharded group. Simulated output is
+// byte-identical for every k.
+func ForShards(k int) Scheduler {
+	if k <= 1 {
+		return New()
+	}
+	return NewSharded(k)
+}

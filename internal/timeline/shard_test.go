@@ -1,0 +1,252 @@
+package timeline
+
+import (
+	"fmt"
+	"math/rand"
+	"runtime"
+	"testing"
+
+	"repro/internal/units"
+)
+
+// replayTrace drives an identical randomized self-scheduling workload on
+// any Scheduler and returns the observed firing trace: (event id, time)
+// pairs plus the final clock and fired count. Every scheduling decision is
+// derived from a deterministic PRNG consumed in firing order, so two
+// schedulers produce identical traces iff they fire events in the same
+// global order.
+func replayTrace(s Scheduler, seed int64, seeds, spawn int) (string, units.Time, uint64) {
+	rng := rand.New(rand.NewSource(seed))
+	var log []byte
+	id := 0
+	var fire func(me int) func()
+	fire = func(me int) func() {
+		return func() {
+			log = append(log, fmt.Sprintf("%d@%d;", me, s.Now())...)
+			for i := 0; i < spawn; i++ {
+				if rng.Intn(3) == 0 {
+					break
+				}
+				id++
+				s.Schedule(units.Time(rng.Intn(50)), fire(id))
+			}
+			spawn = 0 // only the seed generation fans out
+		}
+	}
+	// Seed events: a mix of zero-delay and future, some at equal instants.
+	for i := 0; i < seeds; i++ {
+		id++
+		s.Schedule(units.Time(rng.Intn(20)), fire(id))
+	}
+	end, err := s.Run()
+	if err != nil {
+		panic(err)
+	}
+	return string(log), end, s.Fired()
+}
+
+// randomWorkload drives a deeper randomized workload where every fired
+// event may reschedule, exercising staged-insert re-sync, window batching
+// and tie-breaking. The PRNG is consumed strictly in firing order, so the
+// trace is a faithful witness of the global event order.
+func randomWorkload(s Scheduler, seed int64, n int) (string, units.Time, uint64) {
+	rng := rand.New(rand.NewSource(seed))
+	var log []byte
+	remaining := n
+	var act func(me int) func()
+	act = func(me int) func() {
+		return func() {
+			log = append(log, fmt.Sprintf("%d@%d;", me, s.Now())...)
+			for remaining > 0 && rng.Intn(2) == 0 {
+				remaining--
+				me2 := n - remaining
+				s.Schedule(units.Time(rng.Intn(7)), act(me2))
+			}
+		}
+	}
+	for i := 0; i < 8 && remaining > 0; i++ {
+		remaining--
+		s.Schedule(units.Time(rng.Intn(5)), act(n-remaining))
+	}
+	end, err := s.Run()
+	if err != nil {
+		panic(err)
+	}
+	return string(log), end, s.Fired()
+}
+
+// TestShardGroupMatchesSerial proves the sharded engine fires events in
+// exactly the serial engine's order for every shard count and lookahead,
+// on randomized self-scheduling workloads.
+func TestShardGroupMatchesSerial(t *testing.T) {
+	for seed := int64(1); seed <= 5; seed++ {
+		wantLog, wantEnd, wantFired := replayTrace(New(), seed, 200, 4)
+		for _, k := range []int{1, 2, 4, runtime.NumCPU()} {
+			for _, la := range []units.Time{0, 3, 1000} {
+				g := NewSharded(k)
+				g.SetLookahead(la)
+				gotLog, gotEnd, gotFired := replayTrace(g, seed, 200, 4)
+				if gotLog != wantLog || gotEnd != wantEnd || gotFired != wantFired {
+					t.Fatalf("seed=%d k=%d lookahead=%d: sharded trace diverged from serial\nserial: end=%v fired=%d\nsharded: end=%v fired=%d",
+						seed, k, la, wantEnd, wantFired, gotEnd, gotFired)
+				}
+			}
+		}
+	}
+	// A large resident population (>> shardParallelMin) drives the
+	// goroutine-per-shard sync rounds; under -race this validates the
+	// flush/harvest synchronization.
+	wantLog, wantEnd, wantFired := replayTrace(New(), 99, 3*shardParallelMin, 2)
+	for _, k := range []int{2, runtime.NumCPU()} {
+		g := NewSharded(k)
+		g.SetLookahead(5)
+		gotLog, gotEnd, gotFired := replayTrace(g, 99, 3*shardParallelMin, 2)
+		if gotLog != wantLog || gotEnd != wantEnd || gotFired != wantFired {
+			t.Fatalf("k=%d: parallel-round trace diverged from serial", k)
+		}
+	}
+	for seed := int64(10); seed <= 13; seed++ {
+		wantLog, wantEnd, wantFired := randomWorkload(New(), seed, 3000)
+		for _, k := range []int{2, 4, runtime.NumCPU()} {
+			for _, la := range []units.Time{0, 2, 50} {
+				g := NewSharded(k)
+				g.SetLookahead(la)
+				gotLog, gotEnd, gotFired := randomWorkload(g, seed, 3000)
+				if gotLog != wantLog || gotEnd != wantEnd || gotFired != wantFired {
+					t.Fatalf("seed=%d k=%d lookahead=%d: sharded trace diverged from serial", seed, k, la)
+				}
+			}
+		}
+	}
+}
+
+// TestShardGroupRunUntil checks deadline semantics match the serial engine:
+// partial drains stop at the deadline, the clock advances to it when work
+// remains, and resuming completes identically.
+func TestShardGroupRunUntil(t *testing.T) {
+	build := func(s Scheduler) *[]string {
+		var got []string
+		for _, d := range []units.Time{30, 10, 20, 10, 40} {
+			at := d
+			s.Schedule(d, func() { got = append(got, fmt.Sprintf("%d@%d", at, s.Now())) })
+		}
+		return &got
+	}
+	eng := New()
+	wantLog := build(eng)
+	if _, err := eng.RunUntil(20); err != nil {
+		t.Fatal(err)
+	}
+	midSerial := fmt.Sprint(*wantLog, eng.Now(), eng.Pending())
+	if _, err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+
+	for _, k := range []int{1, 2, 4} {
+		g := NewSharded(k)
+		gotLog := build(g)
+		if _, err := g.RunUntil(20); err != nil {
+			t.Fatal(err)
+		}
+		mid := fmt.Sprint(*gotLog, g.Now(), g.Pending())
+		if mid != midSerial {
+			t.Fatalf("k=%d: RunUntil(20) state %q, serial %q", k, mid, midSerial)
+		}
+		if _, err := g.Run(); err != nil {
+			t.Fatal(err)
+		}
+		if fmt.Sprint(*gotLog) != fmt.Sprint(*wantLog) || g.Now() != eng.Now() {
+			t.Fatalf("k=%d: resume diverged", k)
+		}
+	}
+
+	// A deadline in the past fires nothing and does not move the clock.
+	g := NewSharded(2)
+	g.Schedule(5, func() {})
+	g.Schedule(50, func() { t.Fatal("fired past the deadline") })
+	if _, err := g.RunUntil(30); err != nil {
+		t.Fatal(err)
+	}
+	if at, err := g.RunUntil(10); err != nil || at != 30 {
+		t.Fatalf("RunUntil(10) after clock=30: at=%v err=%v", at, err)
+	}
+}
+
+// TestShardGroupGlobalBudget is the sharding regression test for event
+// budgets: the cap is enforced on the group's global fired count, not per
+// shard — k shards must not buy a runaway workload k times the headroom.
+func TestShardGroupGlobalBudget(t *testing.T) {
+	for _, k := range []int{1, 2, 8} {
+		g := NewSharded(k)
+		g.SetEventBudget(100)
+		// A self-perpetuating workload that spreads across every shard:
+		// each event schedules two successors at a positive delay.
+		var spawn func()
+		spawn = func() {
+			g.Schedule(1, spawn)
+			g.Schedule(2, spawn)
+		}
+		g.Schedule(1, spawn)
+		if _, err := g.Run(); err == nil {
+			t.Fatalf("k=%d: runaway workload did not trip the global budget", k)
+		}
+		if g.Fired() > 101 {
+			t.Fatalf("k=%d: fired %d events against a global budget of 100 — budget applied per shard?", k, g.Fired())
+		}
+
+		// Credited events must not consume budget (parity with Engine).
+		g2 := NewSharded(k)
+		g2.SetEventBudget(10)
+		g2.CreditFired(1000)
+		for i := 0; i < 10; i++ {
+			g2.Schedule(units.Time(i+1), func() {})
+		}
+		if _, err := g2.Run(); err != nil {
+			t.Fatalf("k=%d: credits consumed the budget: %v", k, err)
+		}
+	}
+
+	// RunUntil enforces the same global cap.
+	g := NewSharded(4)
+	g.SetEventBudget(50)
+	var spawn func()
+	spawn = func() {
+		g.Schedule(1, spawn)
+		g.Schedule(1, spawn)
+	}
+	g.Schedule(1, spawn)
+	if _, err := g.RunUntil(1000); err == nil {
+		t.Fatal("RunUntil did not trip the global budget")
+	}
+}
+
+// TestShardMergeAllocs guards the shard-merge path: once buffers have
+// grown, a full sync round (flush + harvest + K-way merge) and the firing
+// loop allocate nothing.
+func TestShardMergeAllocs(t *testing.T) {
+	g := NewSharded(4)
+	g.SetLookahead(10)
+	var tick func()
+	n := 0
+	tick = func() {
+		n++
+		if n < 20000 {
+			g.Schedule(units.Time(1+n%13), tick)
+		}
+	}
+	// Warm up: grow heaps, due buffers and the merge double-buffer.
+	for i := 0; i < 64; i++ {
+		g.Schedule(units.Time(1+i%7), tick)
+	}
+	if _, err := g.RunUntil(50); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(10, func() {
+		if _, err := g.RunUntil(g.Now() + 40); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs > 0 {
+		t.Fatalf("shard-merge path allocated %.1f times per RunUntil window; want 0", allocs)
+	}
+}

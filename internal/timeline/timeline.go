@@ -62,9 +62,10 @@ type Engine struct {
 	zq     []int32
 	zqHead int
 
-	seq    uint64
-	fired  uint64
-	budget uint64 // max events per Run/RunUntil; 0 = unlimited
+	seq      uint64
+	fired    uint64
+	credited int64
+	budget   uint64 // max events per Run/RunUntil; 0 = unlimited
 }
 
 // New returns an empty engine at simulated time zero.
@@ -78,8 +79,18 @@ func (e *Engine) Now() units.Time { return e.now }
 // Pending reports how many events are waiting in the queue.
 func (e *Engine) Pending() int { return len(e.heap) + len(e.zq) - e.zqHead }
 
-// Fired reports how many events have executed since construction.
-func (e *Engine) Fired() uint64 { return e.fired }
+// Fired reports how many events have executed since construction,
+// including events credited by CreditFired.
+func (e *Engine) Fired() uint64 { return uint64(int64(e.fired) + e.credited) }
+
+// CreditFired accounts n events that a fast-forward path (e.g. a memoized
+// collective replay) skipped, so Fired reports the same total as the
+// equivalent fully simulated run. A negative n revokes an earlier credit
+// when a fast-forward is rolled back; the running balance may go negative
+// transiently, as long as Fired's total stays non-negative. Credited events
+// never count against the event budget — the budget guards live scheduling
+// loops.
+func (e *Engine) CreditFired(n int64) { e.credited += n }
 
 // SetEventBudget caps the number of events a single Run or RunUntil may
 // execute; the run returns an error when the cap is hit. Zero means
