@@ -9,6 +9,7 @@ import (
 
 	"repro/internal/cluster"
 	"repro/internal/et"
+	"repro/internal/scenario"
 	"repro/internal/topology"
 	"repro/internal/units"
 )
@@ -53,6 +54,12 @@ type ClusterSpec struct {
 	// reproducible for a fixed seed.
 	Seed int64            `json:"seed,omitempty"`
 	Jobs []ClusterJobSpec `json:"jobs"`
+	// Scenario optionally injects fabric-relative perturbations: link
+	// events name fabric dimensions, NPU events name fabric ranks; each
+	// event is applied to the jobs it touches. Isolated-baseline runs (the
+	// Slowdowns option) stay clean, so the slowdown column then measures
+	// interference plus perturbation.
+	Scenario []ScenarioEventSpec `json:"scenario,omitempty"`
 }
 
 // ClusterPlacements lists the placement policy names.
@@ -224,7 +231,19 @@ func RunCluster(spec ClusterSpec, opt ClusterOptions) (*ClusterResult, error) {
 	if err != nil {
 		return nil, err
 	}
-	res, err := cluster.Run(clusterConfig(m, placement, spec.Seed, jobs))
+	ccfg := clusterConfig(m, placement, spec.Seed, jobs)
+	if len(spec.Scenario) > 0 {
+		events, err := scenarioEvents(spec.Scenario)
+		if err != nil {
+			return nil, err
+		}
+		name := spec.Name
+		if name == "" {
+			name = "cluster"
+		}
+		ccfg.Scenario = &scenario.Scenario{Name: name, Events: events}
+	}
+	res, err := cluster.Run(ccfg)
 	if err != nil {
 		return nil, err
 	}

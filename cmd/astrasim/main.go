@@ -66,6 +66,28 @@
 //	    {"name": "ads", "npus": 32, "workload": {"kind": "dlrm"}}
 //	  ]
 //	}
+//
+// With -scenario it runs a resilience experiment: the spec's workload is
+// simulated clean and again under a schedule of timed infrastructure
+// perturbations — link bandwidth degradations and restorations, link and
+// NPU failures, compute stragglers — and the report shows the perturbed
+// run next to the clean baseline with the headline slowdown:
+//
+//	astrasim -scenario outage.json
+//
+// where outage.json looks like
+//
+//	{
+//	  "name": "spine-brownout",
+//	  "machine": {"Topology": "T2D(4,4)_SW(8,4)", "BandwidthsGBps": [500, 250]},
+//	  "workload": {"kind": "dlrm"},
+//	  "events": [
+//	    {"kind": "degrade_link", "at_us": 500, "dim": 1, "factor": 0.25},
+//	    {"kind": "restore_link", "at_us": 3000, "dim": 1},
+//	    {"kind": "fail_npu", "at_us": 1000, "npu": 17, "recovery_us": 250},
+//	    {"kind": "straggle_npu", "npu": 5, "factor": 1.3}
+//	  ]
+//	}
 package main
 
 import (
@@ -96,6 +118,7 @@ func main() {
 		sweepPath  = flag.String("sweep", "", "run a machine x workload sweep grid from this JSON spec instead of a single simulation")
 		optPath    = flag.String("optimize", "", "run a budgeted design-space search from this JSON spec (astrasim.SearchSpec; strategies: "+strings.Join(astrasim.SearchStrategies(), ", ")+")")
 		clusPath   = flag.String("cluster", "", "co-simulate multiple training jobs sharing one fabric from this JSON spec (astrasim.ClusterSpec; placements: "+strings.Join(astrasim.ClusterPlacements(), ", ")+")")
+		scenPath   = flag.String("scenario", "", "run a failure/straggler scenario from this JSON spec (astrasim.ScenarioSpec) and report slowdown vs the clean run")
 		baselines  = flag.Bool("slowdowns", true, "with -cluster, also run isolated baselines and report per-job slowdowns")
 		parallel   = flag.Int("parallel", 0, "sweep/search worker count; 0 = all cores (results identical for any value)")
 		shards     = flag.Int("shards", 0, "event-engine timeline shards; 0/1 = serial (results byte-identical for any value)")
@@ -124,6 +147,12 @@ func main() {
 	}
 	if *clusPath != "" {
 		if err := runCluster(*clusPath, *baselines, *jsonOut, *csvOut); err != nil {
+			fatal(err)
+		}
+		return
+	}
+	if *scenPath != "" {
+		if err := runScenario(*scenPath, *jsonOut, *csvOut); err != nil {
 			fatal(err)
 		}
 		return
@@ -262,6 +291,21 @@ func runOptimize(path string, workers int, jsonOut, csvOut bool) error {
 
 func runCluster(path string, slowdowns, jsonOut, csvOut bool) error {
 	res, err := astrasim.RunClusterFile(path, astrasim.ClusterOptions{Slowdowns: slowdowns})
+	if err != nil {
+		return err
+	}
+	switch {
+	case jsonOut:
+		return res.WriteJSON(os.Stdout)
+	case csvOut:
+		return res.WriteCSV(os.Stdout)
+	default:
+		return res.WriteTable(os.Stdout)
+	}
+}
+
+func runScenario(path string, jsonOut, csvOut bool) error {
+	res, err := astrasim.RunScenarioFile(path)
 	if err != nil {
 		return err
 	}

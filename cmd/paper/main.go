@@ -16,6 +16,10 @@
 //	paper -exp interference  multi-job interference: 1-8 co-scheduled
 //	                     GPT-3/DLRM/MoE jobs on flat vs tapered switch vs
 //	                     torus-pod fabrics, per-job slowdown vs isolated
+//	paper -exp resilience    failure/straggler study: GPT-3 + DLRM on flat
+//	                     vs torus-pod fabrics under mid-run spine
+//	                     degradation and 1-5% compute stragglers, slowdown
+//	                     vs the clean run
 //	paper -exp all       everything above
 //
 // Every experiment grid runs on the parallel sweep engine; -parallel
@@ -46,7 +50,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run (fig4|speedup|tableiv|fig9a|fig9b|fig11|taxonomy|ablation|pools|fabrics|search|interference|all)")
+	exp := flag.String("exp", "all", "experiment to run (fig4|speedup|tableiv|fig9a|fig9b|fig11|taxonomy|ablation|pools|fabrics|search|interference|resilience|all)")
 	reduced := flag.Bool("reduced", false, "shrink workloads for a quick pass")
 	parallel := flag.Int("parallel", 0, "sweep worker count; 0 = all cores (results identical for any value)")
 	shards := flag.Int("shards", 0, "event-engine timeline shards per simulation; 0/1 = serial (results byte-identical for any value)")
@@ -88,8 +92,9 @@ func main() {
 		"fabrics":      runFabrics,
 		"search":       runSearch,
 		"interference": runInterference,
+		"resilience":   runResilience,
 	}
-	order := []string{"fig4", "speedup", "tableiv", "fig9a", "fig9b", "fig11", "taxonomy", "ablation", "pools", "fabrics", "search", "interference"}
+	order := []string{"fig4", "speedup", "tableiv", "fig9a", "fig9b", "fig11", "taxonomy", "ablation", "pools", "fabrics", "search", "interference", "resilience"}
 
 	if *exp == "all" {
 		for _, name := range order {
@@ -427,6 +432,49 @@ func runInterference(o experiments.Options, jsonOut bool) error {
 	fmt.Println("\nDLRM's All-to-All saturates the 4:1 spine as jobs pile on; GPT-3's")
 	fmt.Println("hierarchical All-Reduce barely touches it. Torus pods isolate the")
 	fmt.Println("network entirely — only the shared memory pool slows MoE down.")
+	return nil
+}
+
+func runResilience(o experiments.Options, jsonOut bool) error {
+	res, err := experiments.Resilience(o)
+	if err != nil {
+		return err
+	}
+	if jsonOut {
+		return emitJSON("resilience", res)
+	}
+	header("Extension — failure/straggler resilience (128-NPU fabrics, slowdown vs clean run)")
+	if o.Reduced {
+		fmt.Println("(reduced workloads: layer counts / 8; ratios preserved)")
+	}
+	scens := experiments.ResilienceScenarios()
+	fmt.Printf("%-12s %-12s %12s", "Fabric", "Workload", "Clean")
+	for _, sc := range scens {
+		fmt.Printf(" %13s", sc)
+	}
+	fmt.Println()
+	for _, sys := range []string{"SW-Flat", "Torus-Pods"} {
+		for _, wl := range experiments.ResilienceWorkloads() {
+			first, err := res.Cell(sys, wl, scens[0])
+			if err != nil {
+				return err
+			}
+			fmt.Printf("%-12s %-12s %10.3fms", sys, wl, first.Clean.Micros()/1000)
+			for _, sc := range scens {
+				c, err := res.Cell(sys, wl, sc)
+				if err != nil {
+					return err
+				}
+				fmt.Printf(" %12.3fx", c.Slowdown)
+			}
+			fmt.Println()
+		}
+	}
+	fmt.Println("\nThe clean column is the built-in regression check: an attached scenario")
+	fmt.Println("with zero events reproduces the unperturbed run byte for byte (exactly")
+	fmt.Println("1.000x). Degrading the spine taxes DLRM's All-to-All hardest, and a")
+	fmt.Println("single 1.3x straggler costs as much as 5% of them: synchronous training")
+	fmt.Println("gates every step on the slowest member, not on how many lag.")
 	return nil
 }
 

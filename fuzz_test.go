@@ -99,6 +99,51 @@ func fuzzClusterSeeds() []string {
 	}
 }
 
+func fuzzScenarioSeeds() []string {
+	return []string{
+		`{}`,
+		`{"name":"degrade","machine":{"Topology":"R(8)","BandwidthsGBps":[300]},"workload":{"kind":"all_reduce","size_bytes":1048576},"events":[{"kind":"degrade_link","at_us":50,"dim":0,"factor":0.25}]}`,
+		`{"machine":{"Topology":"T2D(4,4)_SW(8,4)","BandwidthsGBps":[500,250]},"workload":{"kind":"dlrm"},"events":[{"kind":"fail_link","at_us":10,"dim":1,"recovery_us":100},{"kind":"fail_npu","npu":3,"recovery_us":20},{"kind":"straggle_npu","npu":7,"factor":1.3},{"kind":"restore_link","at_us":200,"dim":1}]}`,
+		`{"events":[{"kind":"degrade_link","at_us":-5,"factor":0.5}]}`,
+		`{"events":[{"kind":"explode"}]}`,
+		`{"events":[{"kind":"degrade_link","factor":-1}]}`,
+		`{"events":[{"kind":"fail_npu","npu":2}]}`,
+		`{"machine":{"Topology":"R(4)","BandwidthsGBps":[-100]},"events":[{"kind":"straggle_npu","npu":99,"factor":2}]}`,
+		`[1]`, `null`, `{"events":[`, `{"unknown":true}`,
+	}
+}
+
+// FuzzLoadScenarioSpec exercises scenario loading plus machine-relative
+// validation: any byte stream must load cleanly or error — malformed times,
+// unknown kinds and negative bandwidths or factors are rejections, never
+// panics.
+func FuzzLoadScenarioSpec(f *testing.F) {
+	for _, s := range fuzzScenarioSeeds() {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, doc string) {
+		spec, err := LoadScenarioSpec(strings.NewReader(doc))
+		if err != nil {
+			return
+		}
+		sc, err := spec.buildScenario()
+		if err != nil {
+			t.Fatalf("loaded spec failed structural validation: %v", err)
+		}
+		_, _ = spec.Workload.Workload() // must not panic
+		if spec.Machine.Topology == "" {
+			return
+		}
+		m, err := NewMachine(spec.Machine)
+		if err != nil || m.NumNPUs() > 1<<16 {
+			return
+		}
+		// Machine-relative bounds: rejections are expected, panics are the
+		// bug.
+		_ = sc.Validate(m.NumNPUs(), m.top.NumDims())
+	})
+}
+
 // FuzzLoadClusterSpec exercises loading plus the pure planning layer
 // (placement parsing, fabric carving, layout validation) — everything up
 // to, but not including, simulation.

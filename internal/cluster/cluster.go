@@ -45,6 +45,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/et"
 	"repro/internal/memory"
+	"repro/internal/scenario"
 	"repro/internal/timeline"
 	"repro/internal/topology"
 	"repro/internal/units"
@@ -139,6 +140,14 @@ type Config struct {
 	// reproducible for a fixed seed.
 	Seed int64
 	Jobs []JobConfig
+
+	// Scenario, when non-nil, injects fabric-relative perturbations: link
+	// events name fabric dimensions, NPU events name fabric ranks. Each
+	// event is translated into every job it touches — link events apply to
+	// jobs whose carved-out local topology includes the dimension, NPU
+	// events to the job owning the rank — and jobs untouched by any event
+	// run byte-identical to an isolated clean run.
+	Scenario *scenario.Scenario
 }
 
 // JobPlacement is one job's slot in a planned layout.
@@ -604,12 +613,48 @@ type Result struct {
 	Events uint64
 }
 
+// translateScenario projects a fabric-relative scenario onto one job's
+// carved-out machine. A job's local topology is a prefix of the fabric's
+// dimensions, so link events keep their dimension index when the job's
+// local machine reaches that level; NPU events apply to the job owning the
+// fabric rank, rewritten to the job-local rank (the rank's index in the
+// ascending Ranks list). Jobs no event touches get a nil scenario and run
+// byte-identical to an isolated clean machine.
+func translateScenario(sc *scenario.Scenario, jp *JobPlacement) *scenario.Scenario {
+	if sc == nil {
+		return nil
+	}
+	var events []scenario.Event
+	for _, ev := range sc.Events {
+		switch ev.Kind {
+		case scenario.DegradeLink, scenario.RestoreLink, scenario.FailLink:
+			if ev.Dim >= 0 && ev.Dim < len(jp.Local.Dims) {
+				events = append(events, ev)
+			}
+		case scenario.FailNPU, scenario.StraggleNPU:
+			if i := sort.SearchInts(jp.Ranks, ev.NPU); i < len(jp.Ranks) && jp.Ranks[i] == ev.NPU {
+				ev.NPU = i
+				events = append(events, ev)
+			}
+		}
+	}
+	if events == nil {
+		return nil
+	}
+	return &scenario.Scenario{Name: sc.Name, Events: events}
+}
+
 // Run plans the layout and co-simulates every job on one shared timeline.
 // Results are deterministic: same config and seed, same bytes.
 func Run(cfg Config) (*Result, error) {
 	for j, job := range cfg.Jobs {
 		if job.Trace == nil {
 			return nil, fmt.Errorf("cluster: job %d (%s) has no trace generator", j, job.Name)
+		}
+	}
+	if cfg.Scenario != nil {
+		if err := cfg.Scenario.Validate(cfg.Fabric.NumNPUs(), cfg.Fabric.NumDims()); err != nil {
+			return nil, err
 		}
 	}
 	layout, err := Plan(cfg.Fabric, cfg.Jobs, cfg.Placement, cfg.Seed)
@@ -642,6 +687,7 @@ func Run(cfg Config) (*Result, error) {
 		if jp.SharedAny() {
 			ccfg.FlowController = &jobFlows{st: fabric, job: j}
 		}
+		ccfg.Scenario = translateScenario(cfg.Scenario, jp)
 		if pool != nil {
 			ccfg.RemoteArbiter = &jobPool{st: pool, job: j}
 		}

@@ -116,7 +116,8 @@ type Engine struct {
 	keyPrefix string
 	rec       *memoRec
 	active    *memoReplay
-	hookFn    func()
+	hookFn    func() // cached cancelReplay closure (hook + schedule watch)
+	hookID    int    // registry id of the armed activity hook
 }
 
 // Option configures an Engine.

@@ -23,8 +23,18 @@ import (
 // the network before that event fires (a concurrent collective, a
 // point-to-point send), the backend's activity hook cancels the replay,
 // rolls the ledger back and re-runs the collective live at the same
-// instant, in the same order — so simulated output is byte-identical with
-// the memo on or off, for every workload.
+// instant, in the same order. Observations need not be synchronous: a
+// foreign event merely *scheduled* into the replay's window — due after the
+// replay's start but at or before its cached end — trips the engine's
+// schedule watch and cancels the replay at schedule time, while the clock
+// still stands at the start instant. Either way simulated output is
+// byte-identical with the memo on or off, for every workload.
+//
+// Both triggers are sound because a replay only starts on an otherwise
+// empty engine: while one is armed the engine holds exactly one pending
+// event (the completion), so no third-party event can fire first — all
+// foreign scheduling happens synchronously at the replay's start instant,
+// which is exactly where the live re-run resumes.
 //
 // A Memo is safe for concurrent use by machines running on different
 // goroutines (the sweep worker pool); entries are immutable once stored.
@@ -115,11 +125,15 @@ type memoReplay struct {
 // Act implements timeline.Actor: the replayed collective completes.
 func (r *memoReplay) Act() {
 	if r.cancelled {
+		// A rollback neutered this event; it fires as a no-op so the
+		// engine's fired count matches the live run's total exactly.
 		return
 	}
 	e := r.e
 	e.active = nil
-	e.net.SetActivityHook(nil)
+	// Disarm before delivering the result: done may chain the next
+	// collective, which can arm a fresh replay of its own.
+	e.disarmReplay()
 	if r.done != nil {
 		r.done(r.res)
 	}
@@ -153,9 +167,26 @@ func (e *Engine) memoEligible() bool {
 	return e.net.PendingEvents() == 0 && e.net.QuietDims()
 }
 
+// disarmReplay removes the engine's armed rollback triggers: its registered
+// activity hook and the engine-wide schedule watch. At most one replay can
+// be armed per timeline engine at any instant (a replay requires an empty
+// event queue to start), so clearing the shared watch never drops another
+// collective engine's.
+func (e *Engine) disarmReplay() {
+	e.net.RemoveActivityHook(e.hookID)
+	e.net.SetScheduleWatch(0, nil)
+}
+
 // replayMemo fast-forwards a cached collective: the ledger advances to its
 // recorded end state, the skipped events are credited, and one completion
-// event delivers the result. The activity hook arms the rollback path.
+// event delivers the result. Two triggers arm the rollback path: the
+// backend activity hook (synchronous observations at the start instant) and
+// the engine's schedule watch (foreign events scheduled into the replay's
+// window, due later than its start). The watch limit is the cached end
+// instant, inclusive: in a live run an event landing exactly then was
+// scheduled before the collective's final chunk events and fires before
+// them, but a replay's single completion event would fire first — so such
+// an event must cancel too.
 func (e *Engine) replayMemo(ent *memoEntry, op Op, size units.ByteSize, g Group, done func(Result)) {
 	now := e.net.Now()
 	r := &memoReplay{e: e, op: op, size: size, group: g, done: done, events: ent.events}
@@ -171,11 +202,14 @@ func (e *Engine) replayMemo(ent *memoEntry, op Op, size units.ByteSize, g Group,
 		TrafficPerDim: append([]units.ByteSize(nil), ent.traffic...),
 	}
 	e.active = r
+	// Schedule the completion BEFORE arming the watch: the watch must not
+	// trip on the replay's own completion event at the window's end.
 	e.net.ScheduleActor(ent.duration, r)
 	if e.hookFn == nil {
 		e.hookFn = e.cancelReplay
 	}
-	e.net.SetActivityHook(e.hookFn)
+	e.hookID = e.net.AddActivityHook(e.hookFn)
+	e.net.SetScheduleWatch(r.res.End, e.hookFn)
 }
 
 // cancelReplay rolls back the active replay: restore the ledger, revoke the
@@ -189,7 +223,7 @@ func (e *Engine) cancelReplay() {
 		return
 	}
 	e.active = nil
-	e.net.SetActivityHook(nil)
+	e.disarmReplay()
 	r.cancelled = true
 	e.net.RestoreLedger(&r.saved)
 	e.net.CreditEvents(-int64(r.events))

@@ -1,0 +1,61 @@
+package compute
+
+import "repro/internal/units"
+
+// ScaleTable holds per-NPU compute-time multipliers — the straggler model.
+// A straggling rank's kernels take Factor × the roofline time; factor 1
+// (the default for every rank) is a clean NPU. The zero value is usable and
+// means "no stragglers"; the table allocates lazily on the first non-unit
+// factor so clean simulations carry no per-NPU state.
+type ScaleTable struct {
+	factors []float64
+	slow    int // count of entries != 1
+}
+
+// Set assigns NPU npu's compute-time multiplier. Non-positive factors and
+// out-of-range ranks are ignored — scenario events degrade to no-ops rather
+// than panic. n is the machine's NPU count, used to size the table on first
+// use.
+func (t *ScaleTable) Set(n, npu int, factor float64) {
+	if npu < 0 || npu >= n || factor <= 0 {
+		return
+	}
+	if t.factors == nil {
+		if factor == 1 {
+			return
+		}
+		t.factors = make([]float64, n)
+		for i := range t.factors {
+			t.factors[i] = 1
+		}
+	}
+	if npu >= len(t.factors) {
+		return
+	}
+	old := t.factors[npu]
+	if old == factor {
+		return
+	}
+	if old == 1 {
+		t.slow++
+	}
+	if factor == 1 {
+		t.slow--
+	}
+	t.factors[npu] = factor
+}
+
+// Active reports whether any NPU currently has a non-unit factor — the
+// hot-path guard, one branch for clean machines.
+func (t *ScaleTable) Active() bool { return t != nil && t.slow != 0 }
+
+// Scale stretches a compute duration by NPU npu's factor.
+func (t *ScaleTable) Scale(npu int, dur units.Time) units.Time {
+	if t == nil || t.factors == nil || npu < 0 || npu >= len(t.factors) {
+		return dur
+	}
+	if f := t.factors[npu]; f != 1 {
+		dur = units.Time(float64(dur) * f)
+	}
+	return dur
+}

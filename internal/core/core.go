@@ -22,6 +22,7 @@ import (
 	"repro/internal/et"
 	"repro/internal/memory"
 	"repro/internal/network"
+	"repro/internal/scenario"
 	"repro/internal/timeline"
 	"repro/internal/topology"
 	"repro/internal/units"
@@ -70,6 +71,14 @@ type Config struct {
 	// RemoteArbiter, when non-nil, scales remote-memory access (and
 	// in-switch collective) durations by cross-job memory-pool contention.
 	RemoteArbiter RemoteArbiter
+	// Scenario, when non-nil, injects timed infrastructure perturbations —
+	// link degradation/restoration, link/NPU failures, compute stragglers —
+	// as events on the simulator's timeline, with times relative to the
+	// trace's release. Every event counts as foreign activity on the
+	// network backend, so memoized collective replays roll back across
+	// perturbations; a scenario with no events leaves the run byte-identical
+	// to a clean one.
+	Scenario *scenario.Scenario
 }
 
 // RemoteArbiter arbitrates a remote memory pool shared by several
@@ -115,6 +124,11 @@ func (c Config) Validate() error {
 	}
 	if c.Chunks < 0 {
 		return fmt.Errorf("core: negative chunk count")
+	}
+	if c.Scenario != nil {
+		if err := c.Scenario.Validate(c.Topology.NumNPUs(), c.Topology.NumDims()); err != nil {
+			return err
+		}
 	}
 	return nil
 }
@@ -193,6 +207,10 @@ type Simulator struct {
 
 	collLog   []collective.Result
 	remaining int
+
+	// straggle holds per-NPU compute-time multipliers set by scenario
+	// events; the zero value means no stragglers.
+	straggle compute.ScaleTable
 
 	// startAt is the simulated time the trace was released (job arrival);
 	// finished is when its last node completed.
@@ -360,12 +378,48 @@ func (s *Simulator) Start(trace *et.Trace, at units.Time) error {
 		s.remaining += st.pending
 	}
 
+	// Schedule scenario events before the release so perturbations due at
+	// the release instant apply before the first nodes issue — a t=0
+	// straggler must already slow the job's first compute operators.
+	if s.cfg.Scenario != nil {
+		for _, ev := range s.cfg.Scenario.Events {
+			ev := ev
+			if fireAt := at + ev.At; fireAt > s.eng.Now() {
+				s.eng.ScheduleAt(fireAt, func() { s.applyScenarioEvent(ev) })
+			} else {
+				s.applyScenarioEvent(ev)
+			}
+		}
+	}
+
 	if at == s.eng.Now() {
 		s.release(graphs)
 	} else {
 		s.eng.ScheduleAt(at, func() { s.release(graphs) })
 	}
 	return nil
+}
+
+// applyScenarioEvent dispatches one perturbation to the layer it targets.
+// The network mutation hooks validate their arguments and degrade to no-ops
+// on out-of-range targets, so a validated scenario can never panic here.
+func (s *Simulator) applyScenarioEvent(ev scenario.Event) {
+	switch ev.Kind {
+	case scenario.DegradeLink:
+		s.net.SetDimBandwidthScale(ev.Dim, ev.Factor)
+	case scenario.RestoreLink:
+		s.net.SetDimBandwidthScale(ev.Dim, 1)
+	case scenario.FailLink:
+		s.net.SetDimBandwidthScale(ev.Dim, scenario.FailedLinkResidual)
+		if ev.Recovery > 0 {
+			dim := ev.Dim
+			s.eng.Schedule(ev.Recovery, func() { s.net.SetDimBandwidthScale(dim, 1) })
+		}
+	case scenario.FailNPU:
+		s.net.StallNPULinks(ev.NPU, s.eng.Now()+ev.Recovery)
+	case scenario.StraggleNPU:
+		s.straggle.Set(s.cfg.Topology.NumNPUs(), ev.NPU, ev.Factor)
+	}
 }
 
 // release issues every initially ready node in ascending-ID order. The
@@ -527,6 +581,9 @@ func (s *Simulator) issue(st *npuState, n *et.Node) {
 	switch n.Kind {
 	case et.KindCompute:
 		dur := s.cfg.Compute.OpTime(n.FLOPs, units.ByteSize(n.MemBytes))
+		if s.straggle.Active() {
+			dur = s.straggle.Scale(st.rank, dur)
+		}
 		s.runTimed(st, n, dur, &st.nCompute)
 	case et.KindMemory:
 		loc := memory.Local

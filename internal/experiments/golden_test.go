@@ -41,6 +41,7 @@ func goldenCases() []goldenCase {
 		{"ablation", true, func() (any, error) { return Ablation(Options{Reduced: true}) }},
 		{"fabrics_reduced", false, func() (any, error) { return Fabrics(Options{Reduced: true}) }},
 		{"interference_reduced", false, func() (any, error) { return Interference(Options{Reduced: true}) }},
+		{"resilience_reduced", false, func() (any, error) { return Resilience(Options{Reduced: true}) }},
 	}
 }
 

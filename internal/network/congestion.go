@@ -39,7 +39,7 @@ func (b *Backend) reserveTransit(src, dst, dim int, size units.ByteSize, factor 
 	if len(path) == 0 {
 		return b.reserve(src, dst, dim, size, factor)
 	}
-	dur := d.TransferTime(size)
+	dur := b.scaleDur(dim, d.TransferTime(size))
 	if factor > 1 {
 		dur = units.Time(float64(dur) * factor)
 	}

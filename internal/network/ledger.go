@@ -52,11 +52,14 @@ func (b *Backend) ApplyLedgerDeltas(now units.Time, floorDelta []units.Time, sen
 }
 
 // QuietDims reports whether every dimension aggregate is at or before the
-// current instant and no flow controller is attached — the backend-side
-// half of the "a collective started now is a pure function of its shape"
-// condition the memoization layer requires.
+// current instant, no flow controller is attached, and no scenario has a
+// bandwidth scale in effect — the backend-side half of the "a collective
+// started now is a pure function of its shape" condition the memoization
+// layer requires. A degraded dimension must disqualify memoization even
+// when its links are idle: a run recorded (or replayed) under a clean
+// fabric is not valid under a scaled one, and vice versa.
 func (b *Backend) QuietDims() bool {
-	if b.fc != nil {
+	if b.fc != nil || b.scaledDims != 0 {
 		return false
 	}
 	now := b.eng.Now()
@@ -78,16 +81,53 @@ func (b *Backend) EventsFired() uint64 { return b.eng.Fired() }
 // the driving engine.
 func (b *Backend) CreditEvents(n int64) { b.eng.CreditFired(n) }
 
-// SetActivityHook installs fn to be invoked before any operation that reads
-// or writes link or ledger state (phase reservations, point-to-point sends,
-// stats materialization). The memoization layer installs it while a replayed
-// collective is in flight so the first observer cancels the fast-forward and
-// falls back to live simulation; nil (the default) costs one predictable
-// branch on the hot path.
-func (b *Backend) SetActivityHook(fn func()) { b.onActivity = fn }
+// AddActivityHook registers fn to be invoked before any operation that
+// reads or writes link or ledger state (phase reservations, point-to-point
+// sends, scenario mutations, stats materialization) and returns an id for
+// RemoveActivityHook. The memoization layer installs a hook while a
+// replayed collective is in flight so the first observer cancels the
+// fast-forward and falls back to live simulation. Hooks form a registry —
+// not a single slot — so several collective engines sharing one backend
+// (cluster jobs) cannot clobber each other's armed hooks. A hook may remove
+// itself (or others) while running and must tolerate being invoked again
+// after its trigger condition cleared; an empty registry — the default —
+// costs one predictable branch on the hot path.
+func (b *Backend) AddActivityHook(fn func()) int {
+	b.hookSeq++
+	b.hooks = append(b.hooks, activityHook{id: b.hookSeq, fn: fn})
+	return b.hookSeq
+}
+
+// RemoveActivityHook deregisters a hook by the id AddActivityHook returned.
+// Removing an id twice (or an unknown id) is a no-op, so disarm paths can
+// be unconditional.
+func (b *Backend) RemoveActivityHook(id int) {
+	for i := range b.hooks {
+		if b.hooks[i].id == id {
+			b.hooks = append(b.hooks[:i], b.hooks[i+1:]...)
+			return
+		}
+	}
+}
 
 func (b *Backend) touchActivity() {
-	if b.onActivity != nil {
-		b.onActivity()
+	// Walk by position, re-checking the occupant's id after each call: a
+	// hook that removes itself (the common rollback case) shifts the slice
+	// left, and the next hook is then at the same position.
+	for i := 0; i < len(b.hooks); {
+		h := b.hooks[i]
+		h.fn()
+		if i < len(b.hooks) && b.hooks[i].id == h.id {
+			i++
+		}
 	}
+}
+
+// SetScheduleWatch forwards to the driving engine's one-shot schedule
+// watch; see timeline.Scheduler. The memoization layer arms it alongside an
+// activity hook so foreign events scheduled into a replay's window — due
+// later than the replay's start — cancel the replay at schedule time, while
+// the clock still stands at the start instant.
+func (b *Backend) SetScheduleWatch(limit units.Time, fn func()) {
+	b.eng.SetScheduleWatch(limit, fn)
 }

@@ -108,11 +108,25 @@ type Backend struct {
 	// cluster layer). Nil — the default — costs nothing on the hot path.
 	fc FlowController
 
-	// onActivity, when non-nil, fires before every state-touching operation
-	// (see SetActivityHook).
-	onActivity func()
+	// hooks fire before every state-touching operation (see
+	// AddActivityHook); hookSeq issues registry ids.
+	hooks   []activityHook
+	hookSeq int
+
+	// bwScale[dim], when allocated, scales each dimension's effective link
+	// bandwidth (the scenario layer's degradation primitive); nil means
+	// every dimension runs clean. scaledDims counts entries != 1 so
+	// QuietDims stays O(1) on the scale check.
+	bwScale    []float64
+	scaledDims int
 
 	stats Stats
+}
+
+// activityHook is one registered observer; ids are never reused.
+type activityHook struct {
+	id int
+	fn func()
 }
 
 type matchKey struct {
@@ -216,6 +230,84 @@ type FlowController interface {
 // allocation-free and byte-identical to an isolated backend.
 func (b *Backend) SetFlowController(fc FlowController) { b.fc = fc }
 
+// scaleDur stretches a transfer's serialization time by the dimension's
+// bandwidth scale. Scale 1 (or a clean backend) returns dur untouched.
+func (b *Backend) scaleDur(dim int, dur units.Time) units.Time {
+	if b.bwScale != nil {
+		if s := b.bwScale[dim]; s != 1 {
+			dur = units.Time(float64(dur) / s)
+		}
+	}
+	return dur
+}
+
+// SetDimBandwidthScale sets dimension dim's effective bandwidth to scale ×
+// nominal (0 < scale ≤ 1 degrades, 1 restores; larger-than-1 upgrades are
+// allowed). The change applies to reservations made from now on — in-flight
+// transfers keep the serialization time they were charged at issue, the
+// standard fluid-model convention — so dimension aggregates are updated
+// incrementally, never rescanned. Out-of-range dimensions and non-positive
+// scales are ignored: scenario events degrade to no-ops rather than panic.
+func (b *Backend) SetDimBandwidthScale(dim int, scale float64) {
+	b.touchActivity()
+	if dim < 0 || dim >= b.dims || scale <= 0 {
+		return
+	}
+	if b.bwScale == nil {
+		if scale == 1 {
+			return
+		}
+		b.bwScale = make([]float64, b.dims)
+		for i := range b.bwScale {
+			b.bwScale[i] = 1
+		}
+	}
+	old := b.bwScale[dim]
+	if old == scale {
+		return
+	}
+	if old == 1 {
+		b.scaledDims++
+	}
+	if scale == 1 {
+		b.scaledDims--
+	}
+	b.bwScale[dim] = scale
+}
+
+// DimBandwidthScale returns dimension dim's current bandwidth scale
+// (1 when clean or out of range).
+func (b *Backend) DimBandwidthScale(dim int) float64 {
+	if b.bwScale == nil || dim < 0 || dim >= b.dims {
+		return 1
+	}
+	return b.bwScale[dim]
+}
+
+// StallNPULinks marks every link of one NPU busy until the given instant —
+// the scenario layer's NPU-failure/recovery primitive. Traffic touching the
+// NPU queues behind the stall, and synchronous collective phases gate on it
+// as their slowest member, which is exactly how a hung rank manifests to
+// the rest of a training job. The per-link overlay and each dimension's
+// cached maximum are bumped incrementally (O(dims) work); out-of-range NPUs
+// are ignored so scenario events never panic.
+func (b *Backend) StallNPULinks(npu int, until units.Time) {
+	b.touchActivity()
+	if npu < 0 || npu >= b.npus {
+		return
+	}
+	b.ensureLinks()
+	base := npu * b.dims
+	for d := 0; d < b.dims; d++ {
+		if b.linkFree[base+d] < until {
+			b.linkFree[base+d] = until
+		}
+		if b.dimMaxLink[d] < until {
+			b.dimMaxLink[d] = until
+		}
+	}
+}
+
 // flowDone is a pooled typed event reporting a transfer's end to the flow
 // controller — the "recompute on flow finish" half of fair sharing.
 type flowDone struct {
@@ -288,7 +380,7 @@ func (b *Backend) linkIdx(npu, dim int) int { return npu*b.dims + dim }
 // 1 leaves the serialization time untouched.
 func (b *Backend) reserve(src, dst, dim int, size units.ByteSize, factor float64) (units.Time, units.Time) {
 	d := b.top.Dims[dim]
-	dur := d.TransferTime(size)
+	dur := b.scaleDur(dim, d.TransferTime(size))
 	if factor > 1 {
 		dur = units.Time(float64(dur) * factor)
 	}

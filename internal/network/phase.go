@@ -64,7 +64,7 @@ func (b *Backend) ReservePhase(members []int, dim int, perNPUTraffic units.ByteS
 		return b.ReservePhaseAll(dim, perNPUTraffic)
 	}
 	d := b.top.Dims[dim]
-	dur := d.TransferTime(perNPUTraffic)
+	dur := b.scaleDur(dim, d.TransferTime(perNPUTraffic))
 	if b.fc != nil {
 		if factor := b.fc.FlowStarted(dim); factor > 1 {
 			dur = units.Time(float64(dur) * factor)
@@ -97,7 +97,7 @@ func (b *Backend) ReservePhase(members []int, dim int, perNPUTraffic units.ByteS
 // result is byte-identical to ReservePhase over the full member list.
 func (b *Backend) ReservePhaseAll(dim int, perNPUTraffic units.ByteSize) (start, end units.Time) {
 	d := b.top.Dims[dim]
-	dur := d.TransferTime(perNPUTraffic)
+	dur := b.scaleDur(dim, d.TransferTime(perNPUTraffic))
 	if b.fc != nil {
 		if factor := b.fc.FlowStarted(dim); factor > 1 {
 			dur = units.Time(float64(dur) * factor)

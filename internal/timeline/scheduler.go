@@ -28,6 +28,13 @@ type Scheduler interface {
 	ScheduleActor(delay units.Time, a Actor)
 	// ScheduleActorAt is the allocation-free ScheduleAt.
 	ScheduleActorAt(at units.Time, a Actor)
+	// SetScheduleWatch arms a one-shot watch: the next event enqueued with
+	// a fire time at or before limit disarms the watch and invokes fn
+	// before that event is enqueued. Fast-forward layers (the collective
+	// phase memo) use it to cancel a time-skipping replay the instant
+	// anything schedules into its window — while the clock still stands at
+	// the replay's start. A nil fn disarms.
+	SetScheduleWatch(limit units.Time, fn func())
 	// Run executes events until the queue drains.
 	Run() (units.Time, error)
 	// RunUntil executes events with timestamps <= deadline.

@@ -43,6 +43,10 @@ type ShardGroup struct {
 	credited int64
 	budget   uint64
 
+	// One-shot schedule watch; see Engine.SetScheduleWatch.
+	watchLimit units.Time
+	watchFn    func()
+
 	shards []shard
 	heaped int // events resident in shard heaps
 
@@ -145,9 +149,22 @@ func (g *ShardGroup) CreditFired(n int64) { g.credited += n }
 // never buy a workload k times the livelock headroom. Zero = unlimited.
 func (g *ShardGroup) SetEventBudget(n uint64) { g.budget = n }
 
+// SetScheduleWatch arms a one-shot watch over the window (now, limit]; see
+// Engine.SetScheduleWatch. The watch fires on the coordinating goroutine
+// before the triggering event is staged, so it observes and produces the
+// same deterministic seq order as the serial engine.
+func (g *ShardGroup) SetScheduleWatch(limit units.Time, fn func()) {
+	g.watchLimit, g.watchFn = limit, fn
+}
+
 func (g *ShardGroup) enqueue(delay units.Time, fn Callback, actor Actor) {
 	if delay < 0 {
 		delay = 0
+	}
+	if g.watchFn != nil && g.now+delay <= g.watchLimit {
+		wf := g.watchFn
+		g.watchFn = nil // disarm before invoking: wf may schedule into the window
+		wf()
 	}
 	g.seq++
 	ev := shardEvent{at: g.now + delay, seq: g.seq, fn: fn, actor: actor}

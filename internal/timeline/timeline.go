@@ -66,6 +66,12 @@ type Engine struct {
 	fired    uint64
 	credited int64
 	budget   uint64 // max events per Run/RunUntil; 0 = unlimited
+
+	// One-shot schedule watch (SetScheduleWatch): while armed, enqueueing
+	// any event due at or before watchLimit disarms the watch and invokes
+	// watchFn BEFORE the triggering event is enqueued.
+	watchLimit units.Time
+	watchFn    func()
 }
 
 // New returns an empty engine at simulated time zero.
@@ -114,9 +120,28 @@ func (e *Engine) allocSlot(at units.Time, fn Callback, actor Actor) int32 {
 	return idx
 }
 
+// SetScheduleWatch arms a one-shot watch over the window (now, limit]: the
+// next event enqueued with a fire time at or before limit disarms the watch
+// and invokes fn before that event is enqueued, so fn's own scheduling (a
+// cancelled fast-forward re-running live) precedes the triggering event in
+// seq order — exactly the order a never-fast-forwarded run would produce.
+// The watch fires at schedule time, while the clock still stands wherever
+// the scheduling code is running, which is what makes rollbacks of
+// time-skipping replays exact: cancellation happens before the clock can
+// advance past the replay's start. fn may re-arm the watch; passing a nil
+// fn disarms it.
+func (e *Engine) SetScheduleWatch(limit units.Time, fn func()) {
+	e.watchLimit, e.watchFn = limit, fn
+}
+
 func (e *Engine) enqueue(delay units.Time, fn Callback, actor Actor) {
 	if delay < 0 {
 		delay = 0
+	}
+	if e.watchFn != nil && e.now+delay <= e.watchLimit {
+		wf := e.watchFn
+		e.watchFn = nil // disarm before invoking: wf may schedule into the window
+		wf()
 	}
 	idx := e.allocSlot(e.now+delay, fn, actor)
 	if delay == 0 {
